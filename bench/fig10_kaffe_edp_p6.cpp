@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Reproduces paper Fig. 10: energy-delay product for Kaffe on the P6
+ * platform across heap sizes.
+ *
+ * Expected shape (Section VI-D): the EDP changes little when the heap
+ * grows — Kaffe's incremental collector and slow JIT code leave almost
+ * no heap-size-dependent component — in sharp contrast to the Jikes
+ * curves of Fig. 7.
+ */
+
+#include <cstdlib>
+#include <iostream>
+
+#include "harness/experiment.hh"
+#include "harness/report.hh"
+#include "util/stats.hh"
+
+using namespace javelin;
+using namespace javelin::harness;
+
+int
+main()
+{
+    const bool fast = std::getenv("JAVELIN_FAST") != nullptr;
+    auto benches = workloads::allBenchmarks();
+    if (fast)
+        benches.resize(4);
+    const std::vector<std::uint32_t> heaps(kP6HeapsMB.begin(),
+                                           kP6HeapsMB.end());
+
+    std::vector<std::vector<ExperimentResult>> rows;
+    RunningStat flatness; // max/min EDP ratio per benchmark
+    for (const auto &bench : benches) {
+        std::vector<ExperimentResult> row;
+        double lo = 1e300, hi = 0;
+        for (const auto heap : heaps) {
+            ExperimentConfig cfg;
+            cfg.vm = jvm::VmKind::Kaffe;
+            cfg.collector = jvm::CollectorKind::IncrementalMS;
+            cfg.heapNominalMB = heap;
+            row.push_back(runExperiment(cfg, bench));
+            if (row.back().ok()) {
+                lo = std::min(lo, row.back().edp());
+                hi = std::max(hi, row.back().edp());
+            }
+        }
+        if (hi > 0)
+            flatness.add(hi / lo);
+        rows.push_back(std::move(row));
+    }
+
+    std::cout << "=== Fig. 10: Kaffe EDP (mJ*s at study scale) vs heap "
+                 "size, P6 ===\n\n";
+    edpTable(rows, heaps).print(std::cout);
+    std::cout << "\nsummary: per-benchmark max/min EDP ratio across "
+                 "heaps averages "
+              << flatness.mean()
+              << "x  (paper: EDP changes little with heap size)\n";
+    return 0;
+}

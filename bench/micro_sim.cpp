@@ -1,0 +1,88 @@
+/**
+ * @file
+ * M2: simulator micro-benchmarks (google-benchmark): raw host-side
+ * throughput of the cache model, the CPU timing model, the power
+ * integrator and a full end-to-end experiment (bytecodes per second of
+ * host time), so regressions in simulation speed are visible.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "harness/experiment.hh"
+#include "sim/platform.hh"
+#include "util/random.hh"
+
+using namespace javelin;
+
+namespace {
+
+void
+BM_CacheAccess(benchmark::State &state)
+{
+    sim::Cache cache({"l1", 32 * kKiB, 8, 64});
+    Rng rng(1);
+    std::uint64_t hits = 0;
+    for (auto _ : state) {
+        const sim::Address a = rng.uniformInt(1 << state.range(0));
+        hits += cache.access(a, false).hit;
+    }
+    benchmark::DoNotOptimize(hits);
+    state.SetItemsProcessed(state.iterations());
+}
+
+void
+BM_CpuExecute(benchmark::State &state)
+{
+    sim::System system(sim::p6Spec());
+    for (auto _ : state)
+        system.cpu().execute(8, 0x1000, 32);
+    state.SetItemsProcessed(state.iterations() * 8);
+}
+
+void
+BM_CpuLoadStore(benchmark::State &state)
+{
+    sim::System system(sim::p6Spec());
+    Rng rng(3);
+    for (auto _ : state) {
+        system.cpu().load(rng.uniformInt(1 << 22));
+        system.cpu().store(rng.uniformInt(1 << 22));
+    }
+    state.SetItemsProcessed(state.iterations() * 2);
+}
+
+void
+BM_PowerUpdate(benchmark::State &state)
+{
+    sim::System system(sim::p6Spec());
+    for (auto _ : state) {
+        system.cpu().execute(100, 0x1000, 64);
+        system.syncPower();
+    }
+}
+
+void
+BM_EndToEndExperiment(benchmark::State &state)
+{
+    // Full pipeline: build + run one small benchmark with measurement.
+    for (auto _ : state) {
+        harness::ExperimentConfig cfg;
+        cfg.dataset = workloads::DatasetScale::Small;
+        cfg.heapNominalMB = 32;
+        const auto res = harness::runExperiment(
+            cfg, workloads::benchmark("_202_jess"));
+        benchmark::DoNotOptimize(res.run.returnValue);
+        state.counters["bytecodes"] =
+            static_cast<double>(res.run.bytecodesExecuted);
+    }
+}
+
+} // namespace
+
+BENCHMARK(BM_CacheAccess)->Arg(14)->Arg(18)->Arg(24);
+BENCHMARK(BM_CpuExecute);
+BENCHMARK(BM_CpuLoadStore);
+BENCHMARK(BM_PowerUpdate);
+BENCHMARK(BM_EndToEndExperiment)->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Example: export the raw measurement traces of one run — the 40 µs
+ * power samples (CSV: tick, watts, component) and the HPM counter
+ * samples — so the paper's figures can be re-plotted from javelin data
+ * with any plotting tool.
+ *
+ * Usage: power_trace [benchmark] [heapMB] [outdir]
+ * Writes <outdir>/<benchmark>_power.csv and _perf.csv.
+ */
+
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "core/daq.hh"
+#include "core/hpm_sampler.hh"
+#include "core/trace_io.hh"
+#include "harness/experiment.hh"
+
+using namespace javelin;
+
+int
+main(int argc, char **argv)
+{
+    const std::string bench = argc > 1 ? argv[1] : "_213_javac";
+    const std::uint32_t heap =
+        argc > 2 ? static_cast<std::uint32_t>(std::atoi(argv[2])) : 32;
+    const std::string outdir = argc > 3 ? argv[3] : ".";
+
+    // Assemble the rig by hand (runExperiment hides the traces).
+    harness::ExperimentConfig cfg;
+    cfg.heapNominalMB = heap;
+    sim::System system(harness::scaledPlatformSpec(cfg));
+
+    const auto program = workloads::buildProgram(
+        workloads::benchmark(bench),
+        workloads::studyScaleFor(cfg.dataset));
+
+    jvm::JvmConfig vmCfg;
+    vmCfg.collector = cfg.collector;
+    vmCfg.heapBytes = harness::scaledHeapBytes(cfg);
+    jvm::Jvm vm(system, program, vmCfg);
+
+    core::Daq daq(system, vm.port());
+    core::HpmSampler hpm(system, vm.port(),
+                         core::HpmSampler::Config{
+                             100 * kTicksPerMicro, 4096});
+
+    std::cout << "running " << bench << " (heap " << heap
+              << " MB nominal)...\n";
+    const auto r = vm.run();
+    if (r.outOfMemory) {
+        std::cerr << "out of memory\n";
+        return 1;
+    }
+
+    const std::string powerPath = outdir + "/" + bench + "_power.csv";
+    const std::string perfPath = outdir + "/" + bench + "_perf.csv";
+    {
+        std::ofstream f(powerPath);
+        core::writePowerCsv(f, daq.trace());
+    }
+    {
+        std::ofstream f(perfPath);
+        core::writePerfCsv(f, hpm.trace());
+    }
+    std::cout << "wrote " << daq.trace().size() << " power samples to "
+              << powerPath << "\n      " << hpm.trace().size()
+              << " perf samples to " << perfPath << "\n"
+              << "run: " << r.seconds() * 1e3 << " ms, "
+              << r.gc.collections << " GCs, "
+              << daq.measuredCpuJoules() << " J measured\n";
+    return 0;
+}

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Quickstart: run one benchmark on the simulated Pentium M under the
+ * Jikes personality and print the per-component energy decomposition —
+ * the smallest end-to-end use of the javelin API.
+ *
+ * Usage: quickstart [benchmark] [heapMB] [collector]
+ *   e.g. quickstart _213_javac 32 GenCopy
+ */
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "harness/experiment.hh"
+#include "harness/report.hh"
+
+using namespace javelin;
+
+namespace {
+
+jvm::CollectorKind
+parseCollector(const std::string &name)
+{
+    if (name == "SemiSpace")
+        return jvm::CollectorKind::SemiSpace;
+    if (name == "MarkSweep")
+        return jvm::CollectorKind::MarkSweep;
+    if (name == "GenCopy")
+        return jvm::CollectorKind::GenCopy;
+    if (name == "GenMS")
+        return jvm::CollectorKind::GenMS;
+    if (name == "IncMS")
+        return jvm::CollectorKind::IncrementalMS;
+    std::cerr << "unknown collector " << name << "\n";
+    std::exit(1);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const std::string bench = argc > 1 ? argv[1] : "_213_javac";
+    const std::uint32_t heap =
+        argc > 2 ? static_cast<std::uint32_t>(std::atoi(argv[2])) : 32;
+    const std::string coll = argc > 3 ? argv[3] : "SemiSpace";
+
+    harness::ExperimentConfig cfg;
+    cfg.platform = sim::PlatformKind::P6;
+    cfg.vm = jvm::VmKind::Jikes;
+    cfg.collector = parseCollector(coll);
+    cfg.heapNominalMB = heap;
+
+    std::cout << "running " << bench << " (heap " << heap << " MB, "
+              << coll << ", Jikes RVM on P6)...\n";
+    const auto res =
+        harness::runExperiment(cfg, workloads::benchmark(bench));
+
+    harness::printRunSummary(std::cout, res);
+    if (!res.ok())
+        return 1;
+
+    auto table = harness::energyDecompositionTable(
+        {res}, harness::jikesComponents());
+    table.print(std::cout);
+
+    std::cout << "\nper-component detail:\n";
+    for (const auto c : harness::jikesComponents()) {
+        const auto &p = res.attribution.powerOf(c);
+        const auto &perf = res.attribution.perfOf(c);
+        std::cout << "  " << core::componentName(c) << ": "
+                  << p.cpuJoules << " J, avg " << p.avgCpuWatts()
+                  << " W, peak " << p.peakCpuWatts << " W, IPC "
+                  << perf.ipc() << ", L2 miss "
+                  << perf.l2MissRate() * 100 << "%\n";
+    }
+    return 0;
+}

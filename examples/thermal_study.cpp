@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Example: the fan-failure scenario of paper Fig. 1, driven through the
+ * public API — run a workload in a loop, watch the die temperature, and
+ * observe the emergency 50%-duty throttle engage, with and without the
+ * thermal-aware GC policy of Section VI-C.
+ *
+ * Usage: thermal_study [benchmark] [paper-seconds]
+ */
+
+#include <iostream>
+#include <string>
+
+#include "harness/experiment.hh"
+
+using namespace javelin;
+using namespace javelin::harness;
+
+int
+main(int argc, char **argv)
+{
+    const std::string name = argc > 1 ? argv[1] : "_222_mpegaudio";
+    const double horizonPaperS = argc > 2 ? std::atof(argv[2]) : 200.0;
+
+    // Time-dilate the thermal mass so minutes of board time fit in
+    // milliseconds of simulated time (see bench/fig01 for details).
+    constexpr double kThermalScale = 4000.0;
+    auto spec = scaledPlatformSpec(ExperimentConfig{});
+    spec.thermal.capacitanceJperC /= kThermalScale;
+
+    const auto program = workloads::buildProgram(
+        workloads::benchmark(name),
+        workloads::studyScaleFor(workloads::DatasetScale::Small));
+
+    sim::System system(spec);
+    system.thermal().setFanEnabled(false);
+    std::cout << "fan disabled; running " << name
+              << " repeatedly on the simulated Pentium M...\n\n";
+    std::cout << "t(paper s)  T(C)    duty   note\n";
+
+    bool announcedThrottle = false;
+    system.addPeriodicTask("report", 2 * kTicksPerMilli, [&](Tick now) {
+        const double t = ticksToSeconds(now) * kThermalScale;
+        std::cout.setf(std::ios::fixed);
+        std::cout.precision(1);
+        std::cout << t << "\t    " << system.thermal().temperatureC()
+                  << "\t  " << system.cpu().dutyCycle();
+        if (system.thermal().throttled() && !announcedThrottle) {
+            std::cout << "   <-- emergency throttle engaged";
+            announcedThrottle = true;
+        }
+        std::cout << "\n";
+    });
+
+    jvm::JvmConfig cfg;
+    cfg.collector = jvm::CollectorKind::GenCopy;
+    cfg.heapBytes = scaledHeapBytes(ExperimentConfig{});
+
+    const Tick horizon = secondsToTicks(horizonPaperS / kThermalScale);
+    int runs = 0;
+    while (system.cpu().now() < horizon) {
+        jvm::Jvm vm(system, program, cfg);
+        const auto r = vm.run();
+        ++runs;
+        if (r.outOfMemory)
+            break;
+    }
+
+    std::cout << "\ncompleted " << runs << " benchmark runs; peak "
+              << system.thermal().maxTemperatureC() << " C; throttled "
+              << system.thermal().throttledSeconds() * kThermalScale
+              << " equivalent seconds; total energy "
+              << system.cpuJoules() * kThermalScale
+              << " J equivalent\n";
+    return 0;
+}

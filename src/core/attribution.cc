@@ -1,0 +1,60 @@
+#include "core/attribution.hh"
+
+#include <algorithm>
+
+#include "util/units.hh"
+
+namespace javelin {
+namespace core {
+
+double
+Attribution::energyFraction(ComponentId id) const
+{
+    return totalCpuJoules > 0 ? powerOf(id).cpuJoules / totalCpuJoules
+                              : 0.0;
+}
+
+double
+Attribution::jvmEnergyFraction() const
+{
+    double j = 0.0;
+    for (std::size_t i = 0; i < kNumComponents; ++i) {
+        const auto id = static_cast<ComponentId>(i);
+        if (isJvmServiceComponent(id))
+            j += power[i].cpuJoules;
+    }
+    return totalCpuJoules > 0 ? j / totalCpuJoules : 0.0;
+}
+
+Attribution
+attribute(const PowerTrace &power_trace, Tick daq_period,
+          const PerfTrace &perf_trace)
+{
+    Attribution a;
+    const double dt = ticksToSeconds(daq_period);
+
+    for (const auto &s : power_trace) {
+        auto &c = a.power[componentIndex(s.component)];
+        c.cpuJoules += s.cpuWatts * dt;
+        c.memJoules += s.memWatts * dt;
+        c.seconds += dt;
+        c.peakCpuWatts = std::max(c.peakCpuWatts, s.cpuWatts);
+        ++c.samples;
+
+        a.totalCpuJoules += s.cpuWatts * dt;
+        a.totalMemJoules += s.memWatts * dt;
+        a.totalSeconds += dt;
+        a.peakCpuWatts = std::max(a.peakCpuWatts, s.cpuWatts);
+    }
+
+    for (const auto &s : perf_trace) {
+        auto &c = a.perf[componentIndex(s.component)];
+        c.counters += s.delta;
+        ++c.samples;
+    }
+
+    return a;
+}
+
+} // namespace core
+} // namespace javelin

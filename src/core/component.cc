@@ -1,0 +1,35 @@
+#include "core/component.hh"
+
+#include "util/logging.hh"
+
+namespace javelin {
+namespace core {
+
+std::string_view
+componentName(ComponentId id)
+{
+    switch (id) {
+      case ComponentId::App:
+        return "App";
+      case ComponentId::Gc:
+        return "GC";
+      case ComponentId::ClassLoader:
+        return "CL";
+      case ComponentId::BaseCompiler:
+        return "Base";
+      case ComponentId::OptCompiler:
+        return "Opt";
+      case ComponentId::Jit:
+        return "JIT";
+      case ComponentId::Scheduler:
+        return "Sched";
+      case ComponentId::Idle:
+        return "Idle";
+      case ComponentId::NumComponents:
+        break;
+    }
+    JAVELIN_PANIC("bad component id ", static_cast<int>(id));
+}
+
+} // namespace core
+} // namespace javelin

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Identifiers for the JVM software components the paper monitors.
+ *
+ * Jikes RVM runs are decomposed into application, garbage collector,
+ * class loader, baseline compiler and optimizing compiler (Section VI);
+ * Kaffe runs into application, garbage collector, class loader and JIT
+ * compiler. The scheduler/controller component exists so the Jikes thread
+ * scheduler can be monitored too (the paper measured it below 1 % and we
+ * keep it visible rather than folding it into App).
+ */
+
+#ifndef JAVELIN_CORE_COMPONENT_HH
+#define JAVELIN_CORE_COMPONENT_HH
+
+#include <cstdint>
+#include <string_view>
+
+namespace javelin {
+namespace core {
+
+/**
+ * JVM software component identifiers, as written to the component-ID
+ * I/O register.
+ */
+enum class ComponentId : std::uint8_t
+{
+    App = 0,
+    Gc,
+    ClassLoader,
+    BaseCompiler,
+    OptCompiler,
+    Jit,
+    Scheduler,
+    Idle,
+    NumComponents,
+};
+
+constexpr std::size_t kNumComponents =
+    static_cast<std::size_t>(ComponentId::NumComponents);
+
+/** Short display name ("GC", "CL", ...), matching the paper's labels. */
+std::string_view componentName(ComponentId id);
+
+/** Index form for dense arrays. */
+constexpr std::size_t
+componentIndex(ComponentId id)
+{
+    return static_cast<std::size_t>(id);
+}
+
+/** True for the components counted as "JVM energy" in Section VI. */
+constexpr bool
+isJvmServiceComponent(ComponentId id)
+{
+    switch (id) {
+      case ComponentId::Gc:
+      case ComponentId::ClassLoader:
+      case ComponentId::BaseCompiler:
+      case ComponentId::OptCompiler:
+      case ComponentId::Jit:
+      case ComponentId::Scheduler:
+        return true;
+      default:
+        return false;
+    }
+}
+
+} // namespace core
+} // namespace javelin
+
+#endif // JAVELIN_CORE_COMPONENT_HH

@@ -1,0 +1,83 @@
+#include "core/daq.hh"
+
+#include "util/logging.hh"
+
+namespace javelin {
+namespace core {
+
+Daq::Daq(sim::System &system, ComponentPort &port)
+    : Daq(system, port, Config())
+{
+}
+
+Daq::Daq(sim::System &system, ComponentPort &port, const Config &config)
+    : system_(system), port_(port),
+      period_(config.period ? config.period : system.spec().daqPeriod),
+      cpuSense_(config.cpuSense), memSense_(config.memSense)
+{
+    JAVELIN_ASSERT(period_ > 0, "DAQ period must be positive");
+    trace_.reserve(config.reserve);
+    refTick_ = system_.cpu().now();
+    lastCpuWatts_ = system_.power().idleWatts();
+    lastMemWatts_ = system_.memoryPower().config().idleWatts;
+    system_.addPeriodicTask("daq", period_,
+                            [this](Tick now) { sample(now); });
+}
+
+void
+Daq::sample(Tick now)
+{
+    system_.syncPower();
+    const Tick actual = system_.cpu().now();
+
+    const double cpuJ = system_.power().cumulativeJoules();
+    const double memJ = system_.memoryPower().cumulativeJoules();
+
+    PowerSample s;
+    s.tick = now;
+    s.component = port_.current();
+    if (actual > refTick_) {
+        const double dt = ticksToSeconds(actual - refTick_);
+        const double trueCpuW = (cpuJ - refCpuJoules_) / dt;
+        const double trueMemW = (memJ - refMemJoules_) / dt;
+        s.cpuWatts = cpuSense_.measureWatts(trueCpuW,
+                                            system_.power().railVolts());
+        s.memWatts =
+            memSense_.measureWatts(trueMemW,
+                                   system_.memoryPower().railVolts());
+        lastCpuWatts_ = s.cpuWatts;
+        lastMemWatts_ = s.memWatts;
+    } else {
+        // Catch-up tick inside a burst (the simulation polled late):
+        // the best estimate for every sample in the gap is the gap's
+        // window average, which the first tick of the burst computed.
+        s.cpuWatts = lastCpuWatts_;
+        s.memWatts = lastMemWatts_;
+    }
+    trace_.push_back(s);
+
+    refCpuJoules_ = cpuJ;
+    refMemJoules_ = memJ;
+    refTick_ = actual;
+}
+
+double
+Daq::measuredCpuJoules() const
+{
+    double j = 0.0;
+    for (const auto &s : trace_)
+        j += s.cpuWatts;
+    return j * ticksToSeconds(period_);
+}
+
+double
+Daq::measuredMemJoules() const
+{
+    double j = 0.0;
+    for (const auto &s : trace_)
+        j += s.memWatts;
+    return j * ticksToSeconds(period_);
+}
+
+} // namespace core
+} // namespace javelin

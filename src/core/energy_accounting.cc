@@ -1,0 +1,25 @@
+#include "core/energy_accounting.hh"
+
+namespace javelin {
+namespace core {
+
+double
+edpOf(const Attribution &a)
+{
+    return energyDelayProduct(a.totalJoules(), a.totalSeconds);
+}
+
+double
+cpuEdpOf(const Attribution &a)
+{
+    return energyDelayProduct(a.totalCpuJoules, a.totalSeconds);
+}
+
+double
+relativeImprovement(double a, double b)
+{
+    return a != 0.0 ? (a - b) / a : 0.0;
+}
+
+} // namespace core
+} // namespace javelin

@@ -1,0 +1,38 @@
+#include "core/hpm_sampler.hh"
+
+#include "util/logging.hh"
+
+namespace javelin {
+namespace core {
+
+HpmSampler::HpmSampler(sim::System &system, ComponentPort &port)
+    : HpmSampler(system, port, Config())
+{
+}
+
+HpmSampler::HpmSampler(sim::System &system, ComponentPort &port,
+                       const Config &config)
+    : system_(system), port_(port),
+      period_(config.period ? config.period : system.spec().hpmPeriod)
+{
+    JAVELIN_ASSERT(period_ > 0, "HPM period must be positive");
+    trace_.reserve(config.reserve);
+    last_ = system_.counters();
+    system_.addPeriodicTask("hpm", period_,
+                            [this](Tick now) { sample(now); });
+}
+
+void
+HpmSampler::sample(Tick now)
+{
+    const sim::PerfCounters current = system_.counters();
+    PerfSample s;
+    s.tick = now;
+    s.component = port_.current();
+    s.delta = current - last_;
+    trace_.push_back(s);
+    last_ = current;
+}
+
+} // namespace core
+} // namespace javelin

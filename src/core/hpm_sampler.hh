@@ -1,0 +1,55 @@
+/**
+ * @file
+ * OS-timer-driven hardware-performance-monitor sampler (Section IV-E).
+ *
+ * The operating system's main timer takes a periodic sample (1 ms on the
+ * P6 platform, 10 ms on the DBPXA255) of whatever is running: the HPM
+ * counter deltas over the period are attributed to the JVM component
+ * registered at the sampling instant. This is the source of the
+ * per-component IPC and cache-miss-rate numbers in paper Section VI-C.
+ */
+
+#ifndef JAVELIN_CORE_HPM_SAMPLER_HH
+#define JAVELIN_CORE_HPM_SAMPLER_HH
+
+#include "core/component_port.hh"
+#include "core/traces.hh"
+#include "sim/system.hh"
+
+namespace javelin {
+namespace core {
+
+/**
+ * Periodic performance-counter sampler.
+ */
+class HpmSampler
+{
+  public:
+    struct Config
+    {
+        /** Sampling period; 0 means "use the platform's OS timer". */
+        Tick period = 0;
+        std::size_t reserve = 1 << 12;
+    };
+
+    HpmSampler(sim::System &system, ComponentPort &port);
+    HpmSampler(sim::System &system, ComponentPort &port,
+               const Config &config);
+
+    Tick period() const { return period_; }
+    const PerfTrace &trace() const { return trace_; }
+
+  private:
+    void sample(Tick now);
+
+    sim::System &system_;
+    ComponentPort &port_;
+    Tick period_;
+    PerfTrace trace_;
+    sim::PerfCounters last_;
+};
+
+} // namespace core
+} // namespace javelin
+
+#endif // JAVELIN_CORE_HPM_SAMPLER_HH

@@ -1,0 +1,91 @@
+#include "core/trace_io.hh"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <string>
+
+#include "util/logging.hh"
+#include "util/units.hh"
+
+namespace javelin {
+namespace core {
+
+void
+writePowerCsv(std::ostream &os, const PowerTrace &trace)
+{
+    os << "tick,us,cpu_watts,mem_watts,component\n";
+    for (const auto &s : trace) {
+        os << s.tick << ',' << static_cast<double>(s.tick) / kTicksPerMicro
+           << ',' << s.cpuWatts << ',' << s.memWatts << ','
+           << componentName(s.component) << '\n';
+    }
+}
+
+void
+writePerfCsv(std::ostream &os, const PerfTrace &trace)
+{
+    os << "tick,component,cycles,instructions,stall_cycles,"
+          "l1d_accesses,l1d_misses,l2_accesses,l2_misses,"
+          "dram_accesses,ipc,l2_miss_rate\n";
+    for (const auto &s : trace) {
+        const auto &d = s.delta;
+        os << s.tick << ',' << componentName(s.component) << ','
+           << d.cycles << ',' << d.instructions << ',' << d.stallCycles
+           << ',' << d.l1dAccesses << ',' << d.l1dMisses << ','
+           << d.l2Accesses << ',' << d.l2Misses << ',' << d.dramAccesses
+           << ',' << d.ipc() << ',' << d.l2MissRate() << '\n';
+    }
+}
+
+namespace {
+
+ComponentId
+componentByName(const std::string &name)
+{
+    for (std::size_t i = 0; i < kNumComponents; ++i) {
+        const auto id = static_cast<ComponentId>(i);
+        if (componentName(id) == name)
+            return id;
+    }
+    JAVELIN_FATAL("unknown component in trace: ", name);
+}
+
+} // namespace
+
+PowerTrace
+readPowerCsv(std::istream &is)
+{
+    PowerTrace trace;
+    std::string line;
+    if (!std::getline(is, line))
+        return trace; // empty input: empty trace
+    if (line.rfind("tick,", 0) != 0)
+        JAVELIN_FATAL("power CSV missing header");
+    while (std::getline(is, line)) {
+        if (line.empty())
+            continue;
+        std::istringstream ls(line);
+        std::string field;
+        PowerSample s;
+
+        if (!std::getline(ls, field, ','))
+            JAVELIN_FATAL("power CSV: missing tick in '", line, "'");
+        s.tick = static_cast<Tick>(std::stoull(field));
+        std::getline(ls, field, ','); // derived microseconds (ignored)
+        if (!std::getline(ls, field, ','))
+            JAVELIN_FATAL("power CSV: missing cpu watts in '", line, "'");
+        s.cpuWatts = std::stod(field);
+        if (!std::getline(ls, field, ','))
+            JAVELIN_FATAL("power CSV: missing mem watts in '", line, "'");
+        s.memWatts = std::stod(field);
+        if (!std::getline(ls, field, ','))
+            JAVELIN_FATAL("power CSV: missing component in '", line, "'");
+        s.component = componentByName(field);
+        trace.push_back(s);
+    }
+    return trace;
+}
+
+} // namespace core
+} // namespace javelin

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Trace serialization: export the DAQ power trace and the HPM
+ * performance trace as CSV (the format the paper's offline analysis
+ * consumed, and what a user needs to plot Fig. 1/6/8-style charts from
+ * a javelin run), and re-import them for offline tooling round-trips.
+ */
+
+#ifndef JAVELIN_CORE_TRACE_IO_HH
+#define JAVELIN_CORE_TRACE_IO_HH
+
+#include <iosfwd>
+
+#include "core/traces.hh"
+
+namespace javelin {
+namespace core {
+
+/** Write a power trace as CSV: tick,us,cpu_watts,mem_watts,component. */
+void writePowerCsv(std::ostream &os, const PowerTrace &trace);
+
+/** Write a perf trace as CSV (per-sample counter deltas). */
+void writePerfCsv(std::ostream &os, const PerfTrace &trace);
+
+/**
+ * Parse a power trace written by writePowerCsv.
+ * @throws via JAVELIN_FATAL on malformed input.
+ */
+PowerTrace readPowerCsv(std::istream &is);
+
+} // namespace core
+} // namespace javelin
+
+#endif // JAVELIN_CORE_TRACE_IO_HH

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Trace record types produced by the measurement infrastructure and
+ * consumed by the offline analysis (paper Fig. 4, right-hand block).
+ */
+
+#ifndef JAVELIN_CORE_TRACES_HH
+#define JAVELIN_CORE_TRACES_HH
+
+#include <vector>
+
+#include "core/component.hh"
+#include "sim/perf_counters.hh"
+#include "util/units.hh"
+
+namespace javelin {
+namespace core {
+
+/**
+ * One DAQ sample: power on the CPU and memory rails plus the component-ID
+ * register value at the sampling instant.
+ */
+struct PowerSample
+{
+    Tick tick = 0;
+    /** Window-average CPU power since the previous sample (watts). */
+    double cpuWatts = 0.0;
+    /** Window-average memory power since the previous sample (watts). */
+    double memWatts = 0.0;
+    /** Component ID visible on the port at the sampling instant. */
+    ComponentId component = ComponentId::App;
+};
+
+/** Full power trace of a run. */
+using PowerTrace = std::vector<PowerSample>;
+
+/**
+ * One HPM sample: performance-counter deltas over the OS timer period,
+ * attributed to the component running at the sampling instant.
+ */
+struct PerfSample
+{
+    Tick tick = 0;
+    ComponentId component = ComponentId::App;
+    sim::PerfCounters delta;
+};
+
+/** Full performance trace of a run. */
+using PerfTrace = std::vector<PerfSample>;
+
+} // namespace core
+} // namespace javelin
+
+#endif // JAVELIN_CORE_TRACES_HH

@@ -1,0 +1,108 @@
+#include "harness/experiment.hh"
+
+#include <algorithm>
+
+#include "core/energy_accounting.hh"
+#include "util/logging.hh"
+
+namespace javelin {
+namespace harness {
+
+double
+ExperimentResult::edp() const
+{
+    return core::energyDelayProduct(attribution.totalJoules(),
+                                    run.seconds());
+}
+
+std::uint64_t
+scaledHeapBytes(const ExperimentConfig &config)
+{
+    const auto raw = static_cast<std::uint64_t>(
+        config.heapNominalMB * static_cast<double>(kMiB) *
+        config.heapScale);
+    // Block-align for the free-list spaces; enforce a sane floor.
+    const std::uint64_t block = 16 * 1024;
+    return std::max<std::uint64_t>(8 * block, raw / block * block);
+}
+
+sim::PlatformSpec
+scaledPlatformSpec(const ExperimentConfig &config)
+{
+    sim::PlatformSpec spec = sim::platformSpec(config.platform);
+    if (config.scaleCaches) {
+        // Preserve heap:cache geometry (DESIGN.md §2): L1 halves, L2
+        // quarters. Associativity and line size stay as measured.
+        spec.memory.l1i.sizeBytes /= 2;
+        spec.memory.l1d.sizeBytes /= 2;
+        if (spec.memory.l2)
+            spec.memory.l2->sizeBytes /= 4;
+    }
+    if (config.daqPeriod)
+        spec.daqPeriod = config.daqPeriod;
+    if (config.hpmPeriod)
+        spec.hpmPeriod = config.hpmPeriod;
+    return spec;
+}
+
+ExperimentResult
+runExperiment(const ExperimentConfig &config, const jvm::Program &program)
+{
+    ExperimentResult res;
+    res.config = config;
+    res.benchmark = program.name;
+
+    sim::System system(scaledPlatformSpec(config));
+
+    jvm::JvmConfig vmCfg;
+    vmCfg.kind = config.vm;
+    vmCfg.collector = config.collector;
+    vmCfg.heapBytes = scaledHeapBytes(config);
+    vmCfg.interp = jvm::interpConfigFor(config.vm);
+    vmCfg.chargePortWrites = config.chargePortWrites;
+    vmCfg.adaptiveOptimization = config.adaptiveOptimization;
+    vmCfg.chargeBarrierCost = config.chargeBarrierCost;
+
+    if (config.dvfsPoint >= 0)
+        system.dvfs().set(static_cast<std::size_t>(config.dvfsPoint));
+
+    jvm::Jvm vm(system, program, vmCfg);
+
+    core::Daq::Config daqCfg;
+    daqCfg.cpuSense.noiseVoltsRms = config.senseNoiseVoltsRms;
+    daqCfg.cpuSense.seed = config.seed * 31 + 1;
+    daqCfg.memSense.noiseVoltsRms = config.senseNoiseVoltsRms;
+    daqCfg.memSense.seed = config.seed * 31 + 2;
+    core::Daq daq(system, vm.port(), daqCfg);
+    core::HpmSampler hpm(system, vm.port());
+    core::GroundTruthAccountant truth(system, vm.port());
+
+    res.run = vm.run();
+    truth.finalize();
+
+    res.attribution =
+        core::attribute(daq.trace(), daq.period(), hpm.trace());
+    for (std::size_t i = 0; i < core::kNumComponents; ++i)
+        res.groundTruth[i] =
+            truth.slice(static_cast<core::ComponentId>(i));
+    res.groundTruthCpuJoules = truth.totalCpuJoules();
+    res.groundTruthMemJoules = truth.totalMemJoules();
+    res.maxTemperatureC = system.thermal().maxTemperatureC();
+    res.throttledSeconds = system.thermal().throttledSeconds();
+    return res;
+}
+
+ExperimentResult
+runExperiment(const ExperimentConfig &config,
+              const workloads::BenchmarkProfile &profile)
+{
+    workloads::StudyScale scale = workloads::studyScaleFor(config.dataset);
+    scale.volume = config.heapScale;
+    const jvm::Program program = workloads::buildProgram(profile, scale);
+    ExperimentResult res = runExperiment(config, program);
+    res.benchmark = profile.name;
+    return res;
+}
+
+} // namespace harness
+} // namespace javelin

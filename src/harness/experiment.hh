@@ -1,0 +1,123 @@
+/**
+ * @file
+ * The experiment harness: the public API most users interact with.
+ *
+ * One Experiment run reproduces the paper's measurement flow end to
+ * end: assemble a platform (P6 or DBPXA255), boot a JVM personality
+ * (Jikes or Kaffe) with a chosen collector and heap size, attach the
+ * DAQ, the HPM sampler and the ground-truth accountant to the
+ * component-ID port, execute a benchmark, and post-process the traces
+ * into a per-component Attribution.
+ *
+ * Heap sizes are specified with the paper's nominal labels (32..128 MB
+ * on the P6, 12..32 MB on the PXA255); the study scale divides both
+ * heaps and allocation volumes by 16, and the platform's caches are
+ * scaled (L1 by 2, L2 by 4) so the heap:cache geometry of the paper is
+ * preserved (see DESIGN.md §2).
+ */
+
+#ifndef JAVELIN_HARNESS_EXPERIMENT_HH
+#define JAVELIN_HARNESS_EXPERIMENT_HH
+
+#include <array>
+
+#include "core/attribution.hh"
+#include "core/daq.hh"
+#include "core/ground_truth.hh"
+#include "core/hpm_sampler.hh"
+#include "jvm/jvm.hh"
+#include "workloads/program_builder.hh"
+#include "workloads/suite.hh"
+
+namespace javelin {
+namespace harness {
+
+/** The paper's P6 heap sweep (Section IV-A). */
+constexpr std::array<std::uint32_t, 7> kP6HeapsMB = {32,  48, 64, 80,
+                                                     96, 112, 128};
+
+/** The PXA255 heap sweep (Section VI-E). */
+constexpr std::array<std::uint32_t, 6> kPxaHeapsMB = {12, 16, 20, 24,
+                                                      28, 32};
+
+/**
+ * Configuration for one experimental run.
+ */
+struct ExperimentConfig
+{
+    sim::PlatformKind platform = sim::PlatformKind::P6;
+    jvm::VmKind vm = jvm::VmKind::Jikes;
+    jvm::CollectorKind collector = jvm::CollectorKind::GenCopy;
+    /** Heap size using the paper's nominal label (MB). */
+    std::uint32_t heapNominalMB = 32;
+    workloads::DatasetScale dataset = workloads::DatasetScale::Full;
+
+    /** Study scale: nominal sizes are multiplied by this. */
+    double heapScale = 1.0 / 16.0;
+    /** Preserve heap:cache geometry by scaling the caches too. */
+    bool scaleCaches = true;
+
+    /** DAQ sampling period override (0 = the platform's 40 us). */
+    Tick daqPeriod = 0;
+    /** HPM sampling period override (0 = platform OS timer). */
+    Tick hpmPeriod = 0;
+    /** Gaussian noise on the DAQ sense channels (volts RMS). */
+    double senseNoiseVoltsRms = 0.0;
+    /** Charge the component-port writes to the CPU. */
+    bool chargePortWrites = true;
+    /** Disable the adaptive optimizing system (ablation). */
+    bool adaptiveOptimization = true;
+    /** Charge write-barrier work to the mutator (ablation A2). */
+    bool chargeBarrierCost = true;
+    /** DVFS operating-point index (-1 = platform maximum). */
+    int dvfsPoint = -1;
+
+    std::uint64_t seed = 7;
+};
+
+/**
+ * Everything measured in one run.
+ */
+struct ExperimentResult
+{
+    ExperimentConfig config;
+    std::string benchmark;
+    jvm::RunResult run;
+    core::Attribution attribution;
+
+    /** Exact per-component accounting (simulator-only reference). */
+    std::array<core::GroundTruthAccountant::Slice, core::kNumComponents>
+        groundTruth;
+    double groundTruthCpuJoules = 0.0;
+    double groundTruthMemJoules = 0.0;
+
+    /** Thermal outcome. */
+    double maxTemperatureC = 0.0;
+    double throttledSeconds = 0.0;
+
+    bool ok() const { return !run.outOfMemory && !run.stackOverflow; }
+
+    /** Energy-delay product over measured totals (J*s). */
+    double edp() const;
+};
+
+/** Heap bytes for a nominal label under a config's study scale. */
+std::uint64_t scaledHeapBytes(const ExperimentConfig &config);
+
+/** Platform spec with the config's memory-system scaling applied. */
+sim::PlatformSpec scaledPlatformSpec(const ExperimentConfig &config);
+
+/**
+ * Run one benchmark under one configuration.
+ */
+ExperimentResult runExperiment(const ExperimentConfig &config,
+                               const workloads::BenchmarkProfile &profile);
+
+/** Run a pre-built program (tests, custom studies). */
+ExperimentResult runExperiment(const ExperimentConfig &config,
+                               const jvm::Program &program);
+
+} // namespace harness
+} // namespace javelin
+
+#endif // JAVELIN_HARNESS_EXPERIMENT_HH

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Simulated virtual address map of the JVM process.
+ *
+ * Every memory reference the JVM makes — bytecode dispatch, compiled
+ * code fetch, object field access, class metadata walks, static roots,
+ * GC header touches — carries a simulated address drawn from these
+ * regions, so the cache hierarchy sees a realistic footprint for each
+ * JVM component.
+ */
+
+#ifndef JAVELIN_JVM_ADDRESS_HH
+#define JAVELIN_JVM_ADDRESS_HH
+
+#include <cstdint>
+
+#include "sim/cache.hh"
+
+namespace javelin {
+namespace jvm {
+
+using Address = sim::Address;
+
+/** The null reference. */
+constexpr Address kNull = 0;
+
+/** Interpreter dispatch loop code (per-opcode handler blocks). */
+constexpr Address kInterpreterCodeBase = 0x0100'0000;
+
+/** VM runtime code: GC, class loader, compilers (native code). */
+constexpr Address kVmCodeBase = 0x0180'0000;
+
+/** Compiled Java method code region (bump-allocated). */
+constexpr Address kCodeBase = 0x0200'0000;
+
+/** Class metadata and constant pools. */
+constexpr Address kMetadataBase = 0x0800'0000;
+
+/** Static reference slots (GC roots). */
+constexpr Address kStaticsBase = 0x0C00'0000;
+
+/** "Native" scratch buffers used by NativeWork bytecodes. */
+constexpr Address kNativeBase = 0x1000'0000;
+
+/** Java heap. */
+constexpr Address kHeapBase = 0x4000'0000;
+
+/** Thread stacks (operand registers spill here for GC scan costing). */
+constexpr Address kStackBase = 0x7000'0000;
+
+/** Offsets into kVmCodeBase for the major VM runtime routines, so each
+ *  has its own I-cache footprint. */
+constexpr Address kGcCopyCode = kVmCodeBase + 0x0000;
+constexpr Address kGcMarkCode = kVmCodeBase + 0x2000;
+constexpr Address kGcSweepCode = kVmCodeBase + 0x4000;
+constexpr Address kGcScanCode = kVmCodeBase + 0x6000;
+constexpr Address kAllocCode = kVmCodeBase + 0x8000;
+constexpr Address kClassLoaderCode = kVmCodeBase + 0xa000;
+constexpr Address kBaseCompilerCode = kVmCodeBase + 0xc000;
+constexpr Address kOptCompilerCode = kVmCodeBase + 0x10000;
+constexpr Address kJitCompilerCode = kVmCodeBase + 0x14000;
+constexpr Address kSchedulerCode = kVmCodeBase + 0x18000;
+constexpr Address kBarrierCode = kVmCodeBase + 0x1a000;
+
+/** Round a size up to the 8-byte object alignment. */
+constexpr std::uint32_t
+alignUp(std::uint32_t bytes)
+{
+    return (bytes + 7u) & ~7u;
+}
+
+} // namespace jvm
+} // namespace javelin
+
+#endif // JAVELIN_JVM_ADDRESS_HH

@@ -1,0 +1,86 @@
+#include "jvm/bytecode.hh"
+
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace javelin {
+namespace jvm {
+
+const char *
+opName(Op op)
+{
+    switch (op) {
+      case Op::Nop: return "nop";
+      case Op::IConst: return "iconst";
+      case Op::Move: return "move";
+      case Op::IAdd: return "iadd";
+      case Op::ISub: return "isub";
+      case Op::IMul: return "imul";
+      case Op::IDiv: return "idiv";
+      case Op::IRem: return "irem";
+      case Op::IXor: return "ixor";
+      case Op::FAdd: return "fadd";
+      case Op::FMul: return "fmul";
+      case Op::Rand: return "rand";
+      case Op::Goto: return "goto";
+      case Op::IfLt: return "iflt";
+      case Op::IfGe: return "ifge";
+      case Op::IfEq: return "ifeq";
+      case Op::IfNe: return "ifne";
+      case Op::IfNull: return "ifnull";
+      case Op::IfNotNull: return "ifnotnull";
+      case Op::Call: return "call";
+      case Op::Ret: return "ret";
+      case Op::New: return "new";
+      case Op::NewArray: return "newarray";
+      case Op::GetField: return "getfield";
+      case Op::PutField: return "putfield";
+      case Op::GetRef: return "getref";
+      case Op::PutRef: return "putref";
+      case Op::GetElem: return "getelem";
+      case Op::PutElem: return "putelem";
+      case Op::GetRefElem: return "getrefelem";
+      case Op::PutRefElem: return "putrefelem";
+      case Op::ArrayLen: return "arraylen";
+      case Op::GetStatic: return "getstatic";
+      case Op::PutStatic: return "putstatic";
+      case Op::NativeWork: return "nativework";
+      case Op::Halt: return "halt";
+      case Op::NumOps: break;
+    }
+    JAVELIN_PANIC("bad opcode ", static_cast<int>(op));
+}
+
+std::string
+disassemble(const Instruction &inst)
+{
+    std::ostringstream os;
+    os << opName(inst.op) << " " << inst.a << ", " << inst.b << ", "
+       << inst.c << ", " << inst.d;
+    return os.str();
+}
+
+bool
+opTouchesHeap(Op op)
+{
+    switch (op) {
+      case Op::New:
+      case Op::NewArray:
+      case Op::GetField:
+      case Op::PutField:
+      case Op::GetRef:
+      case Op::PutRef:
+      case Op::GetElem:
+      case Op::PutElem:
+      case Op::GetRefElem:
+      case Op::PutRefElem:
+      case Op::ArrayLen:
+        return true;
+      default:
+        return false;
+    }
+}
+
+} // namespace jvm
+} // namespace javelin

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * The javelin bytecode instruction set.
+ *
+ * A compact register-based (Dalvik-style) bytecode stands in for Java
+ * bytecode: methods have separate integer and reference register files,
+ * structured control flow via conditional branches, invocation with a
+ * callee-register window, and the full set of heap operations the JVM
+ * components care about (allocation, field and array access for both
+ * scalar and reference data, static roots). Reference and integer
+ * registers are strictly separated so garbage collection roots are
+ * precise, exactly as in the Jikes RVM.
+ */
+
+#ifndef JAVELIN_JVM_BYTECODE_HH
+#define JAVELIN_JVM_BYTECODE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace javelin {
+namespace jvm {
+
+/** Opcode set. 'r' prefix in comments = reference register file. */
+enum class Op : std::uint8_t
+{
+    Nop = 0,
+    IConst,     ///< i[a] = imm(b)
+    Move,       ///< i[a] = i[b]
+    IAdd,       ///< i[a] = i[b] + i[c]
+    ISub,       ///< i[a] = i[b] - i[c]
+    IMul,       ///< i[a] = i[b] * i[c]
+    IDiv,       ///< i[a] = i[b] / i[c]  (b/0 yields 0, like a guarded div)
+    IRem,       ///< i[a] = i[b] % i[c]  (mod 0 yields 0)
+    IXor,       ///< i[a] = i[b] ^ i[c]
+    FAdd,       ///< i[a] = i[b] + i[c], charged at FP cost
+    FMul,       ///< i[a] = i[b] * i[c], charged at FP cost
+    Rand,       ///< i[a] = uniform [0, i[b]) from the program's PRNG
+    Goto,       ///< pc = a
+    IfLt,       ///< if (i[a] < i[b]) pc = c
+    IfGe,       ///< if (i[a] >= i[b]) pc = c
+    IfEq,       ///< if (i[a] == i[b]) pc = c
+    IfNe,       ///< if (i[a] != i[b]) pc = c
+    IfNull,     ///< if (r[a] == null) pc = b
+    IfNotNull,  ///< if (r[a] != null) pc = b
+    Call,       ///< i[a] = invoke method b with int args i[c..c+nIntArgs)
+                ///<        and ref args r[d..d+nRefArgs)
+    Ret,        ///< return i[a] to the caller
+    New,        ///< r[a] = new instance of class b
+    NewArray,   ///< r[a] = new array of class b with length i[c]
+    GetField,   ///< i[a] = r[b].scalar[c]
+    PutField,   ///< r[a].scalar[b] = i[c]
+    GetRef,     ///< r[a] = r[b].ref[c]
+    PutRef,     ///< r[a].ref[b] = r[c]   (write barrier applies)
+    GetElem,    ///< i[a] = r[b].elem[i[c]]        (scalar array)
+    PutElem,    ///< r[a].elem[i[b]] = i[c]
+    GetRefElem, ///< r[a] = r[b].relem[i[c]]       (reference array)
+    PutRefElem, ///< r[a].relem[i[b]] = r[c]  (write barrier applies)
+    ArrayLen,   ///< i[a] = r[b].length
+    GetStatic,  ///< r[a] = statics[b]
+    PutStatic,  ///< statics[a] = r[b]
+    NativeWork, ///< run a native kernel: a ALU ops, b bytes streamed
+    Halt,       ///< stop the thread
+    NumOps,
+};
+
+/** Number of opcodes (for dispatch-table sizing). */
+constexpr std::size_t kNumOps = static_cast<std::size_t>(Op::NumOps);
+
+/**
+ * One decoded instruction. Operand meaning depends on the opcode; see
+ * the Op documentation above.
+ */
+struct Instruction
+{
+    Op op = Op::Nop;
+    std::int32_t a = 0;
+    std::int32_t b = 0;
+    std::int32_t c = 0;
+    std::int32_t d = 0;
+};
+
+/** Mnemonic of an opcode. */
+const char *opName(Op op);
+
+/** Human-readable one-line disassembly of an instruction. */
+std::string disassemble(const Instruction &inst);
+
+/** True if the opcode reads or writes the Java heap. */
+bool opTouchesHeap(Op op);
+
+/** True if the opcode is a reference store (write-barrier candidate). */
+constexpr bool
+opIsRefStore(Op op)
+{
+    return op == Op::PutRef || op == Op::PutRefElem;
+}
+
+/** Body of one method. */
+using Code = std::vector<Instruction>;
+
+} // namespace jvm
+} // namespace javelin
+
+#endif // JAVELIN_JVM_BYTECODE_HH

@@ -1,0 +1,140 @@
+#include "jvm/compilers.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace javelin {
+namespace jvm {
+
+const char *
+tierName(Tier tier)
+{
+    switch (tier) {
+      case Tier::Interpreted:
+        return "interpreted";
+      case Tier::Baseline:
+        return "baseline";
+      case Tier::Optimized:
+        return "optimized";
+      case Tier::Jitted:
+        return "jitted";
+    }
+    JAVELIN_PANIC("bad tier");
+}
+
+CompilerModel::CompilerModel(sim::System &system, core::ComponentPort &port)
+    : CompilerModel(system, port, Costs())
+{
+}
+
+CompilerModel::CompilerModel(sim::System &system, core::ComponentPort &port,
+                             const Costs &costs)
+    : system_(system), port_(port), costs_(costs)
+{
+}
+
+Address
+CompilerModel::allocCode(std::uint32_t bytes)
+{
+    const Address addr = codeCursor_;
+    codeCursor_ += alignUp(bytes);
+    JAVELIN_ASSERT(codeCursor_ < kMetadataBase, "code region overflow");
+    return addr;
+}
+
+void
+CompilerModel::baselineCompile(const MethodInfo &method, MethodRuntime &rt)
+{
+    core::ComponentScope scope(port_, core::ComponentId::BaseCompiler);
+    sim::CpuModel &cpu = system_.cpu();
+
+    const auto n = static_cast<std::uint32_t>(method.code.size());
+    rt.codeBytes = n * costs_.baselineBytesPerBc;
+    rt.codeAddr = allocCode(rt.codeBytes);
+
+    for (std::uint32_t i = 0; i < n; ++i) {
+        // Read the bytecode, run the template emitter, write the code.
+        cpu.load(method.bytecodeAddr + i * sizeof(Instruction));
+        cpu.execute(costs_.baselineUopsPerBc, kBaseCompilerCode,
+                    costs_.baselineUopsPerBc * 4);
+        cpu.store(rt.codeAddr + i * costs_.baselineBytesPerBc);
+        if ((i & 63) == 0)
+            system_.poll();
+    }
+
+    rt.tier = Tier::Baseline;
+    ++methodsCompiled_;
+}
+
+void
+CompilerModel::jitCompile(const MethodInfo &method, MethodRuntime &rt)
+{
+    core::ComponentScope scope(port_, core::ComponentId::Jit);
+    sim::CpuModel &cpu = system_.cpu();
+
+    const auto n = static_cast<std::uint32_t>(method.code.size());
+    rt.codeBytes = n * costs_.jitBytesPerBc;
+    rt.codeAddr = allocCode(rt.codeBytes);
+
+    for (std::uint32_t i = 0; i < n; ++i) {
+        cpu.load(method.bytecodeAddr + i * sizeof(Instruction));
+        cpu.execute(costs_.jitUopsPerBc, kJitCompilerCode,
+                    costs_.jitUopsPerBc * 4);
+        cpu.store(rt.codeAddr + i * costs_.jitBytesPerBc);
+        if ((i & 63) == 0)
+            system_.poll();
+    }
+
+    rt.tier = Tier::Jitted;
+    ++methodsCompiled_;
+}
+
+void
+CompilerModel::optCompileStart(const MethodInfo &method, MethodRuntime &rt)
+{
+    JAVELIN_ASSERT(rt.optWorkRemaining == 0, "opt compile already running");
+    rt.optWorkRemaining = static_cast<std::uint32_t>(method.code.size()) *
+                          costs_.optPasses;
+}
+
+bool
+CompilerModel::optCompileStep(const MethodInfo &method, MethodRuntime &rt,
+                              std::uint32_t units)
+{
+    JAVELIN_ASSERT(rt.optWorkRemaining > 0, "no opt work pending");
+    sim::CpuModel &cpu = system_.cpu();
+    const auto n = static_cast<std::uint32_t>(method.code.size()) *
+                   costs_.optPasses;
+
+    const std::uint32_t todo = std::min(units, rt.optWorkRemaining);
+    for (std::uint32_t u = 0; u < todo; ++u) {
+        const std::uint32_t i = n - rt.optWorkRemaining + u;
+        // IR transformation over a compiler workspace: one bytecode
+        // read, IR node reads/writes, heavy analysis micro-ops.
+        cpu.load(method.bytecodeAddr +
+                 (i % method.code.size()) * sizeof(Instruction));
+        cpu.load(kNativeBase + (i * 96) % (512 * 1024));
+        cpu.store(kNativeBase + (i * 96 + 48) % (512 * 1024));
+        cpu.execute(costs_.optUopsPerBcPass, kOptCompilerCode,
+                    costs_.optUopsPerBcPass * 4);
+        if ((u & 31) == 0)
+            system_.poll();
+    }
+    rt.optWorkRemaining -= todo;
+    if (rt.optWorkRemaining > 0)
+        return false;
+
+    // Emit the optimized body.
+    const auto bcs = static_cast<std::uint32_t>(method.code.size());
+    rt.codeBytes = bcs * costs_.optBytesPerBc;
+    rt.codeAddr = allocCode(rt.codeBytes);
+    for (std::uint32_t i = 0; i < bcs; ++i)
+        cpu.store(rt.codeAddr + i * costs_.optBytesPerBc);
+    rt.tier = Tier::Optimized;
+    ++methodsOptimized_;
+    return true;
+}
+
+} // namespace jvm
+} // namespace javelin

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Compilation tiers and compiler cost models.
+ *
+ * Jikes RVM has no interpreter: methods are baseline-compiled on first
+ * invocation (fast, mediocre code), and the adaptive system later
+ * recompiles hot methods with the optimizing compiler on its own thread
+ * (slow, good code). Kaffe's JIT translates opcodes to native
+ * instructions "without performing extensive code optimizations"
+ * (Section VI-D), so compilation is cheap but the generated code is
+ * slower than Jikes baseline output. An interpreter tier also exists
+ * (Kaffe can be built as an interpreter; javelin uses it for
+ * differential testing).
+ *
+ * Compiled code occupies real addresses in the code region, so code
+ * density differences between tiers show up in the I-cache.
+ */
+
+#ifndef JAVELIN_JVM_COMPILERS_HH
+#define JAVELIN_JVM_COMPILERS_HH
+
+#include <vector>
+
+#include "core/component_port.hh"
+#include "jvm/program.hh"
+#include "sim/system.hh"
+
+namespace javelin {
+namespace jvm {
+
+/** Execution tier of a method. */
+enum class Tier : std::uint8_t
+{
+    Interpreted,
+    Baseline,
+    Optimized,
+    Jitted,
+};
+
+const char *tierName(Tier tier);
+
+/**
+ * Per-run, per-method mutable state.
+ */
+struct MethodRuntime
+{
+    Tier tier = Tier::Interpreted;
+    Address codeAddr = 0;
+    std::uint32_t codeBytes = 0;
+    std::uint64_t invocations = 0;
+    std::uint32_t samples = 0;
+    bool optRequested = false;
+    /** Remaining opt-compilation work units (bytecodes). */
+    std::uint32_t optWorkRemaining = 0;
+};
+
+/**
+ * The three compilers as cost models over the simulated machine.
+ */
+class CompilerModel
+{
+  public:
+    struct Costs
+    {
+        /** Micro-ops per bytecode for a baseline compile. */
+        std::uint32_t baselineUopsPerBc = 30;
+        /** Emitted bytes per bytecode (baseline). */
+        std::uint32_t baselineBytesPerBc = 12;
+        /** Micro-ops per bytecode per optimization pass. */
+        std::uint32_t optUopsPerBcPass = 90;
+        /** Number of optimizer passes. */
+        std::uint32_t optPasses = 4;
+        /** Emitted bytes per bytecode (optimized: denser code). */
+        std::uint32_t optBytesPerBc = 8;
+        /** Micro-ops per bytecode for the Kaffe JIT (template emit
+         *  plus per-opcode constant-pool lookups and verification). */
+        std::uint32_t jitUopsPerBc = 150;
+        /** Emitted bytes per bytecode (JIT: naive, bulky code). */
+        std::uint32_t jitBytesPerBc = 14;
+    };
+
+    CompilerModel(sim::System &system, core::ComponentPort &port);
+    CompilerModel(sim::System &system, core::ComponentPort &port,
+                  const Costs &costs);
+
+    /** Synchronous baseline compile (Jikes, first invocation). */
+    void baselineCompile(const MethodInfo &method, MethodRuntime &rt);
+
+    /** Synchronous JIT translation (Kaffe, first invocation). */
+    void jitCompile(const MethodInfo &method, MethodRuntime &rt);
+
+    /** Begin an optimizing compile (queued onto the opt thread). */
+    void optCompileStart(const MethodInfo &method, MethodRuntime &rt);
+
+    /**
+     * Perform up to `units` bytecodes of optimizing-compile work.
+     * @return true when the method finished compiling (tier flipped).
+     */
+    bool optCompileStep(const MethodInfo &method, MethodRuntime &rt,
+                        std::uint32_t units);
+
+    std::uint32_t methodsCompiled() const { return methodsCompiled_; }
+    std::uint32_t methodsOptimized() const { return methodsOptimized_; }
+    const Costs &costs() const { return costs_; }
+
+  private:
+    Address allocCode(std::uint32_t bytes);
+
+    sim::System &system_;
+    core::ComponentPort &port_;
+    Costs costs_;
+    Address codeCursor_ = kCodeBase;
+    std::uint32_t methodsCompiled_ = 0;
+    std::uint32_t methodsOptimized_ = 0;
+};
+
+} // namespace jvm
+} // namespace javelin
+
+#endif // JAVELIN_JVM_COMPILERS_HH

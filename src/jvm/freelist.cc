@@ -1,0 +1,191 @@
+#include "jvm/freelist.hh"
+
+#include <algorithm>
+
+namespace javelin {
+namespace jvm {
+
+bool
+FreeListAllocator::Block::allocated(std::uint32_t cell) const
+{
+    return (allocBits[cell >> 6] >> (cell & 63)) & 1;
+}
+
+void
+FreeListAllocator::Block::setAllocated(std::uint32_t cell, bool on)
+{
+    if (on)
+        allocBits[cell >> 6] |= 1ULL << (cell & 63);
+    else
+        allocBits[cell >> 6] &= ~(1ULL << (cell & 63));
+}
+
+FreeListAllocator::FreeListAllocator(Heap &heap, const Space &space)
+    : heap_(heap), space_(space)
+{
+    JAVELIN_ASSERT(space_.size % kBlockBytes == 0,
+                   "mark-sweep space must be block aligned, got ",
+                   space_.size);
+    space_.cursor = space_.start;
+    freeHeads_.fill(kNull);
+    carveBlock_.fill(-1);
+    blocks_.reserve(space_.size / kBlockBytes);
+}
+
+std::uint32_t
+FreeListAllocator::classFor(std::uint32_t bytes)
+{
+    JAVELIN_ASSERT(bytes <= kMaxCellBytes,
+                   "object too large for mark-sweep space: ", bytes);
+    for (std::uint32_t k = 0; k < kNumClasses; ++k)
+        if (kSizeClasses[k] >= bytes)
+            return k;
+    JAVELIN_PANIC("unreachable");
+}
+
+FreeListAllocator::Block *
+FreeListAllocator::newBlock(std::uint32_t size_class)
+{
+    const Address start = space_.bump(kBlockBytes);
+    if (start == kNull)
+        return nullptr;
+    Block b;
+    b.start = start;
+    b.sizeClass = size_class;
+    b.cellBytes = kSizeClasses[size_class];
+    b.cellCount = kBlockBytes / b.cellBytes;
+    b.allocBits.assign((b.cellCount + 63) / 64, 0);
+    blocks_.push_back(std::move(b));
+    return &blocks_.back();
+}
+
+FreeListAllocator::Block *
+FreeListAllocator::blockOf(Address addr)
+{
+    JAVELIN_ASSERT(space_.contains(addr), "address outside MS space");
+    const auto idx = (addr - space_.start) / kBlockBytes;
+    JAVELIN_ASSERT(idx < blocks_.size(), "address in uncarved block");
+    return &blocks_[idx];
+}
+
+const FreeListAllocator::Block *
+FreeListAllocator::blockOf(Address addr) const
+{
+    return const_cast<FreeListAllocator *>(this)->blockOf(addr);
+}
+
+Address
+FreeListAllocator::alloc(std::uint32_t bytes, std::uint32_t *traffic_loads)
+{
+    const std::uint32_t k = classFor(bytes);
+    *traffic_loads = 0;
+
+    // Fast path: pop the free list (one heap load for the link).
+    if (freeHeads_[k] != kNull) {
+        const Address addr = freeHeads_[k];
+        freeHeads_[k] = heap_.read64(addr);
+        *traffic_loads = 1;
+        Block *b = blockOf(addr);
+        const std::uint32_t cell =
+            static_cast<std::uint32_t>((addr - b->start) / b->cellBytes);
+        JAVELIN_ASSERT(!b->allocated(cell), "double allocation");
+        b->setAllocated(cell, true);
+        usedBytes_ += b->cellBytes;
+        freeListedBytes_ -= b->cellBytes;
+        return addr;
+    }
+
+    // Carve from the current virgin block for this class.
+    if (carveBlock_[k] >= 0) {
+        Block &b = blocks_[static_cast<std::size_t>(carveBlock_[k])];
+        if (b.bumpCells < b.cellCount) {
+            const Address addr = b.start + static_cast<Address>(
+                b.bumpCells) * b.cellBytes;
+            b.setAllocated(b.bumpCells, true);
+            ++b.bumpCells;
+            usedBytes_ += b.cellBytes;
+            return addr;
+        }
+        carveBlock_[k] = -1;
+    }
+
+    // Grab a new block.
+    Block *b = newBlock(k);
+    if (!b)
+        return kNull;
+    carveBlock_[k] = static_cast<std::int32_t>(blocks_.size() - 1);
+    const Address addr = b->start;
+    b->setAllocated(0, true);
+    b->bumpCells = 1;
+    usedBytes_ += b->cellBytes;
+    return addr;
+}
+
+void
+FreeListAllocator::freeCell(Address addr)
+{
+    Block *b = blockOf(addr);
+    const std::uint32_t cell =
+        static_cast<std::uint32_t>((addr - b->start) / b->cellBytes);
+    JAVELIN_ASSERT(b->allocated(cell), "freeing a free cell");
+    b->setAllocated(cell, false);
+    heap_.write64(addr, freeHeads_[b->sizeClass]);
+    freeHeads_[b->sizeClass] = addr;
+    usedBytes_ -= b->cellBytes;
+    freeListedBytes_ += b->cellBytes;
+}
+
+bool
+FreeListAllocator::isAllocatedCell(Address addr) const
+{
+    if (!space_.contains(addr))
+        return false;
+    const auto idx = (addr - space_.start) / kBlockBytes;
+    if (idx >= blocks_.size())
+        return false;
+    const Block &b = blocks_[idx];
+    if ((addr - b.start) % b.cellBytes != 0)
+        return false;
+    const std::uint32_t cell =
+        static_cast<std::uint32_t>((addr - b.start) / b.cellBytes);
+    return b.allocated(cell);
+}
+
+bool
+FreeListAllocator::isWithinAllocatedCell(Address addr) const
+{
+    if (!space_.contains(addr))
+        return false;
+    const auto idx = (addr - space_.start) / kBlockBytes;
+    if (idx >= blocks_.size())
+        return false;
+    const Block &b = blocks_[idx];
+    const std::uint32_t cell =
+        static_cast<std::uint32_t>((addr - b.start) / b.cellBytes);
+    return b.allocated(cell);
+}
+
+void
+FreeListAllocator::beginSweep()
+{
+    freeHeads_.fill(kNull);
+    freeListedBytes_ = 0;
+}
+
+std::uint64_t
+FreeListAllocator::freeBytes() const
+{
+    const std::uint64_t uncarved =
+        space_.end() - (space_.start +
+                        static_cast<Address>(blocks_.size()) * kBlockBytes);
+    return uncarved + freeListedBytes_;
+}
+
+std::uint32_t
+FreeListAllocator::cellBytesAt(Address addr) const
+{
+    return blockOf(addr)->cellBytes;
+}
+
+} // namespace jvm
+} // namespace javelin

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Segregated-fit free-list allocator used by the mark-sweep spaces.
+ *
+ * The paper's MarkSweep collector "uses a list of available fixed-size
+ * memory chunks to allocate new objects" (Section III-B). This allocator
+ * carves the space into 16 KiB blocks, assigns each block a size class,
+ * and threads free cells of each class onto an in-heap singly-linked
+ * free list (the next pointer lives in the first word of the free cell,
+ * as in real segregated-fit allocators, so allocation and sweeping
+ * generate genuine heap traffic).
+ */
+
+#ifndef JAVELIN_JVM_FREELIST_HH
+#define JAVELIN_JVM_FREELIST_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "jvm/heap.hh"
+
+namespace javelin {
+namespace jvm {
+
+/**
+ * Block-structured segregated-fit allocator over one Space.
+ */
+class FreeListAllocator
+{
+  public:
+    static constexpr std::uint32_t kBlockBytes = 16 * 1024;
+
+    /** Cell size classes; the largest equals a whole block. */
+    static constexpr std::array<std::uint32_t, 18> kSizeClasses = {
+        16, 24, 32, 48, 64, 96, 128, 192, 256, 384, 512, 768,
+        1024, 1536, 2048, 4096, 8192, 16384,
+    };
+    static constexpr std::uint32_t kNumClasses = kSizeClasses.size();
+    static constexpr std::uint32_t kMaxCellBytes = kSizeClasses.back();
+
+    /** Host-side metadata for one block. */
+    struct Block
+    {
+        Address start = 0;
+        std::uint32_t cellBytes = 0;
+        std::uint32_t sizeClass = 0;
+        std::uint32_t cellCount = 0;
+        /** Cells carved so far (virgin blocks are bump-allocated). */
+        std::uint32_t bumpCells = 0;
+        /** One bit per cell: allocated or free. */
+        std::vector<std::uint64_t> allocBits;
+
+        bool allocated(std::uint32_t cell) const;
+        void setAllocated(std::uint32_t cell, bool on);
+    };
+
+    FreeListAllocator(Heap &heap, const Space &space);
+
+    /** Size class index for a request; panics above kMaxCellBytes. */
+    static std::uint32_t classFor(std::uint32_t bytes);
+
+    /**
+     * Allocate a cell able to hold the requested bytes. Returns 0 when
+     * memory is exhausted (caller should collect and retry).
+     * Reports the number of heap words touched through *traffic so the
+     * caller can charge the CPU model.
+     */
+    Address alloc(std::uint32_t bytes, std::uint32_t *traffic_loads);
+
+    /**
+     * Return a cell to its free list (sweep path). The caller charges
+     * one store for the free-list link write.
+     */
+    void freeCell(Address addr);
+
+    /** True if addr is the start of a currently-allocated cell. */
+    bool isAllocatedCell(Address addr) const;
+
+    /** True if addr lies anywhere inside a currently-allocated cell. */
+    bool isWithinAllocatedCell(Address addr) const;
+
+    /** Reset all free lists (start of a sweep rebuild). */
+    void beginSweep();
+
+    /** Bytes currently handed out (cell granularity). */
+    std::uint64_t usedBytes() const { return usedBytes_; }
+
+    /** Bytes not yet carved plus free-listed bytes. */
+    std::uint64_t freeBytes() const;
+
+    const std::vector<Block> &blocks() const { return blocks_; }
+    const Space &space() const { return space_; }
+
+    /** Cell size of the block containing addr. */
+    std::uint32_t cellBytesAt(Address addr) const;
+
+  private:
+    Block *blockOf(Address addr);
+    const Block *blockOf(Address addr) const;
+    Block *newBlock(std::uint32_t size_class);
+
+    Heap &heap_;
+    Space space_;
+    std::vector<Block> blocks_;
+    /** Heads of in-heap free lists, one per size class (0 = empty). */
+    std::array<Address, kNumClasses> freeHeads_{};
+    /** Block currently being bump-carved, one per size class (-1 none). */
+    std::array<std::int32_t, kNumClasses> carveBlock_;
+    std::uint64_t usedBytes_ = 0;
+    std::uint64_t freeListedBytes_ = 0;
+};
+
+} // namespace jvm
+} // namespace javelin
+
+#endif // JAVELIN_JVM_FREELIST_HH

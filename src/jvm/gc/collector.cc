@@ -1,0 +1,59 @@
+#include "jvm/gc/collector.hh"
+
+#include "jvm/gc/gencopy.hh"
+#include "jvm/gc/genms.hh"
+#include "jvm/gc/incremental_ms.hh"
+#include "jvm/gc/marksweep.hh"
+#include "jvm/gc/semispace.hh"
+#include "util/logging.hh"
+
+namespace javelin {
+namespace jvm {
+
+void
+chargeGcWork(sim::System &system, std::uint32_t micro_ops,
+             Address code_addr)
+{
+    system.cpu().execute(micro_ops, code_addr, micro_ops * 4);
+    system.cpu().stall(micro_ops *
+                       system.spec().cpu.gcStallPerUop);
+}
+
+const char *
+collectorName(CollectorKind kind)
+{
+    switch (kind) {
+      case CollectorKind::SemiSpace:
+        return "SemiSpace";
+      case CollectorKind::MarkSweep:
+        return "MarkSweep";
+      case CollectorKind::GenCopy:
+        return "GenCopy";
+      case CollectorKind::GenMS:
+        return "GenMS";
+      case CollectorKind::IncrementalMS:
+        return "IncMS";
+    }
+    JAVELIN_PANIC("bad collector kind");
+}
+
+std::unique_ptr<Collector>
+makeCollector(CollectorKind kind, const GcEnv &env)
+{
+    switch (kind) {
+      case CollectorKind::SemiSpace:
+        return std::make_unique<SemiSpaceCollector>(env);
+      case CollectorKind::MarkSweep:
+        return std::make_unique<MarkSweepCollector>(env);
+      case CollectorKind::GenCopy:
+        return std::make_unique<GenCopyCollector>(env);
+      case CollectorKind::GenMS:
+        return std::make_unique<GenMSCollector>(env);
+      case CollectorKind::IncrementalMS:
+        return std::make_unique<IncrementalMSCollector>(env);
+    }
+    JAVELIN_PANIC("bad collector kind");
+}
+
+} // namespace jvm
+} // namespace javelin

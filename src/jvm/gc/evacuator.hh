@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Shared evacuation machinery for the copying collectors.
+ *
+ * Implements the copy/forward/trace core of a Cheney-style collector
+ * with a pluggable "should this object move" predicate and target
+ * allocator, so SemiSpace (full-heap copy), GenCopy (nursery-to-mature
+ * promotion and mature semispace major) and GenMS (nursery-to-free-list
+ * promotion) all share one verified implementation.
+ */
+
+#ifndef JAVELIN_JVM_GC_EVACUATOR_HH
+#define JAVELIN_JVM_GC_EVACUATOR_HH
+
+#include <functional>
+#include <vector>
+
+#include "jvm/gc/collector.hh"
+
+namespace javelin {
+namespace jvm {
+
+/**
+ * One evacuation pass. Construct, configure, drive, discard.
+ */
+class Evacuator
+{
+  public:
+    using ShouldMoveFn = std::function<bool(Address)>;
+    using AllocFn = std::function<Address(std::uint32_t)>;
+
+    Evacuator(const GcEnv &env, Collector::Stats &stats,
+              ShouldMoveFn should_move, AllocFn alloc_to);
+
+    /**
+     * Process one slot: null and non-moving refs pass through; already
+     * forwarded objects are snapped; everything else is copied.
+     * @return false if the target allocator ran out of space.
+     */
+    bool processSlot(Address &ref);
+
+    /** Trace from all copied-but-unscanned objects until empty. */
+    bool drain();
+
+    /** Objects copied by this pass so far. */
+    std::uint64_t copied() const { return copiedObjects_; }
+
+    bool failed() const { return failed_; }
+
+    /**
+     * Clear the failure flag so the pass can be resumed after the
+     * caller freed target space. Copied-but-unscanned objects stay
+     * queued; the interrupted object is rescanned (idempotent).
+     */
+    void resetFailure() { failed_ = false; }
+
+    /** Visit every copied-but-unscanned object (GenMS pins these as
+     *  mark roots before sweeping mid-evacuation). */
+    template <typename Fn>
+    void
+    forEachPending(Fn &&fn) const
+    {
+        for (std::size_t i = grayHead_; i < gray_.size(); ++i)
+            fn(gray_[i]);
+    }
+
+  private:
+    bool scanObject(Address obj);
+
+    const GcEnv &env_;
+    Collector::Stats &stats_;
+    ShouldMoveFn shouldMove_;
+    AllocFn allocTo_;
+    std::vector<Address> gray_;
+    std::size_t grayHead_ = 0;
+    std::uint64_t copiedObjects_ = 0;
+    bool failed_ = false;
+};
+
+} // namespace jvm
+} // namespace javelin
+
+#endif // JAVELIN_JVM_GC_EVACUATOR_HH

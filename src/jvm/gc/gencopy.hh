@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Generational copying collector (GenCopy, paper Fig. 3).
+ *
+ * New objects allocate in a nursery; minor collections copy nursery
+ * survivors into the mature space, which is itself managed as a pair of
+ * semispaces collected by a full copying pass when it fills. A write
+ * barrier records mature-to-nursery pointers in a sequential store
+ * buffer. The nursery size adapts (Appel-style) so promotion can never
+ * overflow the mature space mid-collection.
+ */
+
+#ifndef JAVELIN_JVM_GC_GENCOPY_HH
+#define JAVELIN_JVM_GC_GENCOPY_HH
+
+#include "jvm/gc/collector.hh"
+#include "jvm/gc/remset.hh"
+
+namespace javelin {
+namespace jvm {
+
+/**
+ * Nursery + copying mature space.
+ */
+class GenCopyCollector : public Collector
+{
+  public:
+    explicit GenCopyCollector(const GcEnv &env);
+
+    const char *name() const override { return "GenCopy"; }
+    Address allocate(std::uint32_t bytes) override;
+    void writeBarrier(Address holder, Address slot_addr,
+                      Address value) override;
+    bool needsWriteBarrier() const override { return true; }
+    void collect(bool major) override;
+    std::uint64_t heapUsed() const override;
+
+    const Space &nursery() const { return nursery_; }
+    const Space &matureActive() const { return mature_[activeHalf_]; }
+    const RememberedSet &remset() const { return remset_; }
+    std::uint64_t nurseryLimit() const { return nurseryLimit_; }
+
+  private:
+    void minorCollect();
+    void majorCollect();
+    void recomputeNurseryLimit();
+    bool inNursery(Address a) const { return nursery_.contains(a); }
+
+    /** Objects at least this large are allocated directly in mature. */
+    static constexpr std::uint32_t kPretenureBytes = 4096;
+    /** Smallest useful nursery before a major collection is forced. */
+    static constexpr std::uint64_t kMinNursery = 32 * 1024;
+
+    Space nursery_;
+    Space mature_[2];
+    int activeHalf_ = 0;
+    std::uint64_t nurseryLimit_ = 0;
+    RememberedSet remset_;
+    bool oom_ = false;
+};
+
+} // namespace jvm
+} // namespace javelin
+
+#endif // JAVELIN_JVM_GC_GENCOPY_HH

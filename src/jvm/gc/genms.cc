@@ -1,0 +1,249 @@
+#include "jvm/gc/genms.hh"
+
+#include <algorithm>
+
+#include "jvm/gc/evacuator.hh"
+#include "jvm/gc/marker.hh"
+
+namespace javelin {
+namespace jvm {
+
+namespace {
+
+/** Largest multiple of the block size not above the given bytes. */
+std::uint64_t
+blockAlignDown(std::uint64_t bytes)
+{
+    return bytes & ~static_cast<std::uint64_t>(
+        FreeListAllocator::kBlockBytes - 1);
+}
+
+} // namespace
+
+GenMSCollector::GenMSCollector(const GcEnv &env)
+    : Collector(env),
+      nursery_("nursery", env.heap.base(), (env.heap.size() / 8) & ~7ULL),
+      mature_(env.heap,
+              Space("genms-mature", env.heap.base() + nursery_.size,
+                    blockAlignDown(env.heap.size() - nursery_.size))),
+      remset_(env.system)
+{
+    recomputeNurseryLimit();
+}
+
+void
+GenMSCollector::recomputeNurseryLimit()
+{
+    nurseryLimit_ =
+        std::min<std::uint64_t>(nursery_.size, mature_.freeBytes());
+}
+
+Address
+GenMSCollector::matureAlloc(std::uint32_t bytes)
+{
+    std::uint32_t traffic = 0;
+    const Address addr = mature_.alloc(bytes, &traffic);
+    if (addr != kNull)
+        for (std::uint32_t i = 0; i < traffic; ++i)
+            env_.system.cpu().load(addr);
+    return addr;
+}
+
+Address
+GenMSCollector::allocate(std::uint32_t bytes)
+{
+    if (oom_)
+        return kNull;
+    chargeWork(7, kAllocCode);
+
+    if (bytes >= kPretenureBytes) {
+        Address addr = matureAlloc(bytes);
+        if (addr == kNull) {
+            majorCollect();
+            if (oom_)
+                return kNull;
+            addr = matureAlloc(bytes);
+            if (addr == kNull)
+                return kNull;
+        }
+        recomputeNurseryLimit();
+        stats_.bytesAllocated += bytes;
+        ++stats_.objectsAllocated;
+        return addr;
+    }
+
+    for (int attempt = 0; attempt < 3; ++attempt) {
+        if (nursery_.used() + bytes <= nurseryLimit_) {
+            const Address addr = nursery_.bump(bytes);
+            if (addr != kNull) {
+                stats_.bytesAllocated += bytes;
+                ++stats_.objectsAllocated;
+                return addr;
+            }
+        }
+        minorCollect();
+        if (oom_)
+            return kNull;
+        if (nurseryLimit_ < std::max<std::uint64_t>(kMinNursery, bytes)) {
+            majorCollect();
+            if (oom_)
+                return kNull;
+        }
+    }
+    return kNull;
+}
+
+void
+GenMSCollector::writeBarrier(Address holder, Address slot_addr,
+                             Address value)
+{
+    if (env_.chargeBarrierCost)
+        chargeWork(3, kBarrierCode);
+    if (value == kNull || inNursery(holder) || !inNursery(value))
+        return;
+    ++stats_.barrierHits;
+    ++stats_.remsetEntries;
+    remset_.record(slot_addr);
+}
+
+bool
+GenMSCollector::driveEvacuation(Evacuator &evac)
+{
+    env_.host.forEachRoot([&evac](Address &ref) {
+        evac.processSlot(ref);
+    });
+    Heap &heap = env_.heap;
+    remset_.forEach([&](Address slot) {
+        env_.system.cpu().load(slot);
+        Address ref = heap.read64(slot);
+        const Address before = ref;
+        evac.processSlot(ref);
+        if (ref != before) {
+            env_.system.cpu().store(slot);
+            heap.write64(slot, ref);
+        }
+    });
+    evac.drain();
+    return !evac.failed();
+}
+
+void
+GenMSCollector::minorCollect()
+{
+    env_.host.gcBegin(false);
+    const Tick start = env_.system.cpu().now();
+
+    Evacuator evac(
+        env_, stats_, [this](Address a) { return inNursery(a); },
+        [this](std::uint32_t bytes) { return matureAlloc(bytes); });
+
+    if (!driveEvacuation(evac)) {
+        // Mature free space could not absorb the survivors. Mark-sweep
+        // the mature space and RESUME the same evacuation pass: the
+        // gray queue still holds copied-but-unscanned objects whose
+        // reference slots point into the nursery, so abandoning the
+        // pass would leave dangling young pointers behind. Pending
+        // copies are pinned as mark roots or the sweep could reclaim
+        // them mid-flight.
+        std::vector<Address> pending;
+        evac.forEachPending([&](Address a) { pending.push_back(a); });
+        markSweepMature(pending);
+        evac.resetFailure();
+        if (!driveEvacuation(evac))
+            oom_ = true;
+        if (oom_) {
+            env_.host.gcEnd(false);
+            return;
+        }
+    }
+
+    remset_.clear();
+    nursery_.reset();
+    recomputeNurseryLimit();
+    ++stats_.collections;
+    ++stats_.minorCollections;
+    stats_.pauseTicks += env_.system.cpu().now() - start;
+    env_.host.gcEnd(false);
+
+    if (nurseryLimit_ < kMinNursery)
+        markSweepMature();
+}
+
+void
+GenMSCollector::majorCollect()
+{
+    // Empty the nursery first so the mark-sweep pass only sees the
+    // mature space (standard GenMS discipline).
+    if (nursery_.used() > 0) {
+        minorCollect();
+        if (oom_)
+            return;
+    }
+    markSweepMature();
+}
+
+void
+GenMSCollector::markSweepMature(const std::vector<Address> &extra_roots)
+{
+    env_.host.gcBegin(true);
+    const Tick start = env_.system.cpu().now();
+
+    Marker marker(env_, stats_);
+    for (const Address a : extra_roots)
+        marker.processRef(a);
+    marker.markFromRoots();
+
+    // Sweep the mature free lists.
+    mature_.beginSweep();
+    ObjectModel &om = env_.om;
+    for (const auto &block : mature_.blocks()) {
+        for (std::uint32_t cell = 0; cell < block.bumpCells; ++cell) {
+            if (!block.allocated(cell))
+                continue;
+            const Address addr =
+                block.start + static_cast<Address>(cell) * block.cellBytes;
+            const std::uint32_t bits = om.loadGcBits(addr);
+            if (bits & kMarkBit) {
+                om.storeGcBits(addr, bits & ~kMarkBit);
+            } else {
+                stats_.bytesFreed += block.cellBytes;
+                mature_.freeCell(addr);
+                env_.system.cpu().store(addr);
+            }
+            chargeGcWork(env_.system, gc_costs::kSweepPerCell,
+                         kGcSweepCode);
+        }
+        pollSamplers();
+    }
+
+    // Entries whose holder cell was just swept are stale; processing
+    // them later would scribble on free-list links. Entries into live
+    // cells stay: a retrying minor collection still needs those
+    // old-to-young edges.
+    remset_.pruneIf([this](Address slot) {
+        return !mature_.isWithinAllocatedCell(slot);
+    });
+    recomputeNurseryLimit();
+    ++stats_.collections;
+    ++stats_.majorCollections;
+    stats_.pauseTicks += env_.system.cpu().now() - start;
+    env_.host.gcEnd(true);
+}
+
+void
+GenMSCollector::collect(bool major)
+{
+    if (major)
+        majorCollect();
+    else
+        minorCollect();
+}
+
+std::uint64_t
+GenMSCollector::heapUsed() const
+{
+    return nursery_.used() + mature_.usedBytes();
+}
+
+} // namespace jvm
+} // namespace javelin

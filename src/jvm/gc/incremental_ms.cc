@@ -1,0 +1,222 @@
+#include "jvm/gc/incremental_ms.hh"
+
+namespace javelin {
+namespace jvm {
+
+namespace {
+
+std::uint64_t
+blockAlignDown(std::uint64_t bytes)
+{
+    return bytes & ~static_cast<std::uint64_t>(
+        FreeListAllocator::kBlockBytes - 1);
+}
+
+} // namespace
+
+IncrementalMSCollector::IncrementalMSCollector(const GcEnv &env)
+    : IncrementalMSCollector(env, Tuning())
+{
+}
+
+IncrementalMSCollector::IncrementalMSCollector(const GcEnv &env,
+                                               const Tuning &tuning)
+    : Collector(env), tuning_(tuning),
+      alloc_(env.heap, Space("incms", env.heap.base(),
+                             blockAlignDown(env.heap.size())))
+{
+    gray_.reserve(1024);
+}
+
+void
+IncrementalMSCollector::shade(Address ref)
+{
+    if (ref == kNull)
+        return;
+    ObjectModel &om = env_.om;
+    const std::uint32_t bits = om.loadGcBits(ref);
+    if (bits & kMarkBit)
+        return;
+    om.storeGcBits(ref, bits | kMarkBit);
+    ++stats_.objectsMarked;
+    gray_.push_back(ref);
+    chargeGcWork(env_.system, gc_costs::kMarkPerObject, kGcMarkCode);
+}
+
+void
+IncrementalMSCollector::scanObject(Address obj)
+{
+    ObjectModel &om = env_.om;
+    const std::uint32_t refs = om.refCountRaw(obj);
+    chargeGcWork(env_.system, gc_costs::kMarkPerEdge, kGcMarkCode);
+    for (std::uint32_t i = 0; i < refs; ++i)
+        shade(om.loadRef(obj, i));
+}
+
+void
+IncrementalMSCollector::startCycle()
+{
+    env_.host.gcBegin(false);
+    marking_ = true;
+    // Root scan: Kaffe scans thread stacks conservatively, so charge a
+    // full word-by-word walk in addition to the precise shading.
+    env_.host.forEachRoot([this](Address &ref) {
+        chargeWork(3, kGcScanCode);
+        shade(ref);
+    });
+    ++stats_.minorCollections; // counts marking increments started
+    env_.host.gcEnd(false);
+}
+
+void
+IncrementalMSCollector::step(std::uint32_t n)
+{
+    env_.host.gcBegin(false);
+    while (n-- > 0 && !gray_.empty()) {
+        const Address obj = gray_.back();
+        gray_.pop_back();
+        scanObject(obj);
+    }
+    env_.host.gcEnd(false);
+    if (gray_.empty())
+        finishCycle();
+}
+
+void
+IncrementalMSCollector::finishCycle()
+{
+    env_.host.gcBegin(true);
+    const Tick start = env_.system.cpu().now();
+
+    // Atomic termination: rescan roots (mutator may have moved white
+    // references into registers since the initial scan), drain, sweep.
+    env_.host.forEachRoot([this](Address &ref) {
+        chargeWork(3, kGcScanCode);
+        shade(ref);
+    });
+    while (!gray_.empty()) {
+        const Address obj = gray_.back();
+        gray_.pop_back();
+        scanObject(obj);
+        env_.system.poll();
+    }
+    sweep();
+    marking_ = false;
+
+    ++stats_.collections;
+    ++stats_.majorCollections;
+    stats_.pauseTicks += env_.system.cpu().now() - start;
+    env_.host.gcEnd(true);
+}
+
+void
+IncrementalMSCollector::sweep()
+{
+    alloc_.beginSweep();
+    ObjectModel &om = env_.om;
+    for (const auto &block : alloc_.blocks()) {
+        for (std::uint32_t cell = 0; cell < block.bumpCells; ++cell) {
+            if (!block.allocated(cell))
+                continue;
+            const Address addr =
+                block.start + static_cast<Address>(cell) * block.cellBytes;
+            const std::uint32_t bits = om.loadGcBits(addr);
+            if (bits & kMarkBit) {
+                om.storeGcBits(addr, bits & ~kMarkBit);
+            } else {
+                stats_.bytesFreed += block.cellBytes;
+                alloc_.freeCell(addr);
+                env_.system.cpu().store(addr);
+            }
+            chargeGcWork(env_.system, gc_costs::kSweepPerCell,
+                         kGcSweepCode);
+        }
+        pollSamplers();
+    }
+}
+
+Address
+IncrementalMSCollector::allocate(std::uint32_t bytes)
+{
+    chargeWork(9, kAllocCode);
+
+    if (marking_)
+        step(tuning_.stepObjects);
+
+    std::uint32_t traffic = 0;
+    Address addr = alloc_.alloc(bytes, &traffic);
+    if (addr == kNull) {
+        // Out of cells: finish any in-flight cycle, else run a full
+        // stop-the-world cycle, then retry once.
+        if (marking_) {
+            finishCycle();
+        } else {
+            startCycle();
+            if (marking_)
+                finishCycle();
+        }
+        addr = alloc_.alloc(bytes, &traffic);
+        if (addr == kNull)
+            return kNull;
+    }
+    for (std::uint32_t i = 0; i < traffic; ++i)
+        env_.system.cpu().load(addr);
+
+    stats_.bytesAllocated += bytes;
+    ++stats_.objectsAllocated;
+
+    if (!marking_ &&
+        static_cast<double>(alloc_.usedBytes()) >
+            tuning_.triggerFraction * static_cast<double>(env_.heap.size()))
+        startCycle();
+
+    return addr;
+}
+
+void
+IncrementalMSCollector::postInit(Address obj)
+{
+    // Allocate-black: objects born during marking survive this cycle.
+    if (marking_) {
+        ObjectModel &om = env_.om;
+        om.setGcBitsRaw(obj, om.gcBitsRaw(obj) | kMarkBit);
+    }
+}
+
+void
+IncrementalMSCollector::writeBarrier(Address holder, Address slot_addr,
+                                     Address value)
+{
+    (void)holder;
+    (void)slot_addr;
+    if (env_.chargeBarrierCost)
+        chargeWork(2, kBarrierCode);
+    if (!marking_ || value == kNull)
+        return;
+    // Dijkstra insertion barrier: the stored reference is shaded so a
+    // black holder can never point at a white object.
+    ++stats_.barrierHits;
+    env_.host.gcBegin(false);
+    shade(value);
+    env_.host.gcEnd(false);
+}
+
+void
+IncrementalMSCollector::collect(bool major)
+{
+    if (!marking_)
+        startCycle();
+    if (major)
+        finishCycle();
+    else if (marking_)
+        step(tuning_.stepObjects * 8);
+}
+
+std::uint64_t
+IncrementalMSCollector::heapUsed() const
+{
+    return alloc_.usedBytes();
+}
+
+} // namespace jvm
+} // namespace javelin

@@ -1,0 +1,64 @@
+#include "jvm/gc/marker.hh"
+
+#include "jvm/address.hh"
+
+namespace javelin {
+namespace jvm {
+
+Marker::Marker(const GcEnv &env, Collector::Stats &stats)
+    : env_(env), stats_(stats)
+{
+    stack_.reserve(1024);
+}
+
+void
+Marker::processRef(Address ref)
+{
+    ObjectModel &om = env_.om;
+    std::uint32_t bits;
+    // Follow forwarding pointers: a mark phase can run while an
+    // abandoned evacuation has left forwarded shells behind.
+    for (;;) {
+        if (ref == kNull)
+            return;
+        bits = om.loadGcBits(ref);
+        if (!(bits & kForwardedBit))
+            break;
+        ref = om.loadForwarding(ref);
+    }
+    if (bits & kMarkBit)
+        return;
+    om.storeGcBits(ref, bits | kMarkBit);
+    ++marked_;
+    ++stats_.objectsMarked;
+    stack_.push_back(ref);
+    chargeGcWork(env_.system, gc_costs::kMarkPerObject, kGcMarkCode);
+}
+
+void
+Marker::drain()
+{
+    ObjectModel &om = env_.om;
+    while (!stack_.empty()) {
+        const Address obj = stack_.back();
+        stack_.pop_back();
+        const std::uint32_t refs = om.refCountRaw(obj);
+        for (std::uint32_t i = 0; i < refs; ++i) {
+            chargeGcWork(env_.system, gc_costs::kMarkPerEdge,
+                         kGcMarkCode);
+            const Address child = om.loadRef(obj, i);
+            processRef(child);
+        }
+        env_.system.poll();
+    }
+}
+
+void
+Marker::markFromRoots()
+{
+    env_.host.forEachRoot([this](Address &ref) { processRef(ref); });
+    drain();
+}
+
+} // namespace jvm
+} // namespace javelin

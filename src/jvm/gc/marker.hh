@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Shared mark-phase machinery for the tracing (non-copying) collectors:
+ * MarkSweep, the mature space of GenMS, and the final/stop-the-world
+ * phases of Kaffe's incremental collector.
+ */
+
+#ifndef JAVELIN_JVM_GC_MARKER_HH
+#define JAVELIN_JVM_GC_MARKER_HH
+
+#include <functional>
+#include <vector>
+
+#include "jvm/gc/collector.hh"
+
+namespace javelin {
+namespace jvm {
+
+/**
+ * Depth-first marker with an explicit mark stack.
+ */
+class Marker
+{
+  public:
+    /** Restricts marking to a region (others are treated as pinned). */
+    using InRegionFn = std::function<bool(Address)>;
+
+    Marker(const GcEnv &env, Collector::Stats &stats);
+
+    /** Mark everything reachable from the VM roots. */
+    void markFromRoots();
+
+    /** Mark one reference (and queue its children). */
+    void processRef(Address ref);
+
+    /** Drain the mark stack. */
+    void drain();
+
+    std::uint64_t marked() const { return marked_; }
+
+  private:
+    const GcEnv &env_;
+    Collector::Stats &stats_;
+    std::vector<Address> stack_;
+    std::uint64_t marked_ = 0;
+};
+
+} // namespace jvm
+} // namespace javelin
+
+#endif // JAVELIN_JVM_GC_MARKER_HH

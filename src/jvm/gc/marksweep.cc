@@ -1,0 +1,88 @@
+#include "jvm/gc/marksweep.hh"
+
+#include "jvm/gc/marker.hh"
+
+namespace javelin {
+namespace jvm {
+
+MarkSweepCollector::MarkSweepCollector(const GcEnv &env)
+    : Collector(env),
+      alloc_(env.heap,
+             Space("ms", env.heap.base(),
+                   env.heap.size() & ~static_cast<std::uint64_t>(
+                       FreeListAllocator::kBlockBytes - 1)))
+{
+}
+
+Address
+MarkSweepCollector::allocate(std::uint32_t bytes)
+{
+    std::uint32_t traffic = 0;
+    // Size-class dispatch and free-list pop.
+    chargeWork(9, kAllocCode);
+    Address addr = alloc_.alloc(bytes, &traffic);
+    if (addr == kNull) {
+        collect(true);
+        chargeWork(9, kAllocCode);
+        addr = alloc_.alloc(bytes, &traffic);
+        if (addr == kNull)
+            return kNull;
+    }
+    for (std::uint32_t i = 0; i < traffic; ++i)
+        env_.system.cpu().load(addr);
+    stats_.bytesAllocated += bytes;
+    ++stats_.objectsAllocated;
+    return addr;
+}
+
+void
+MarkSweepCollector::sweep()
+{
+    alloc_.beginSweep();
+    ObjectModel &om = env_.om;
+    for (const auto &block : alloc_.blocks()) {
+        for (std::uint32_t cell = 0; cell < block.bumpCells; ++cell) {
+            if (!block.allocated(cell))
+                continue;
+            const Address addr =
+                block.start + static_cast<Address>(cell) * block.cellBytes;
+            const std::uint32_t bits = om.loadGcBits(addr);
+            if (bits & kMarkBit) {
+                om.storeGcBits(addr, bits & ~kMarkBit);
+            } else {
+                stats_.bytesFreed += block.cellBytes;
+                alloc_.freeCell(addr);
+                env_.system.cpu().store(addr); // free-list link write
+            }
+            chargeGcWork(env_.system, gc_costs::kSweepPerCell,
+                         kGcSweepCode);
+        }
+        pollSamplers();
+    }
+}
+
+void
+MarkSweepCollector::collect(bool major)
+{
+    (void)major;
+    env_.host.gcBegin(true);
+    const Tick start = env_.system.cpu().now();
+
+    Marker marker(env_, stats_);
+    marker.markFromRoots();
+    sweep();
+
+    ++stats_.collections;
+    ++stats_.majorCollections;
+    stats_.pauseTicks += env_.system.cpu().now() - start;
+    env_.host.gcEnd(true);
+}
+
+std::uint64_t
+MarkSweepCollector::heapUsed() const
+{
+    return alloc_.usedBytes();
+}
+
+} // namespace jvm
+} // namespace javelin

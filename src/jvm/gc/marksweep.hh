@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Stop-the-world Mark-and-Sweep collector (paper Section III-B).
+ *
+ * Allocates from segregated fixed-size free lists; never moves objects.
+ * Collection marks the live graph and then sweeps every carved block,
+ * returning unmarked cells to their free lists. The sweep's streaming
+ * walk over the whole heap is the main source of this collector's
+ * characteristic memory-bound (low-power, on the P6) profile.
+ */
+
+#ifndef JAVELIN_JVM_GC_MARKSWEEP_HH
+#define JAVELIN_JVM_GC_MARKSWEEP_HH
+
+#include "jvm/freelist.hh"
+#include "jvm/gc/collector.hh"
+
+namespace javelin {
+namespace jvm {
+
+/**
+ * Non-moving mark-sweep collector.
+ */
+class MarkSweepCollector : public Collector
+{
+  public:
+    explicit MarkSweepCollector(const GcEnv &env);
+
+    const char *name() const override { return "MarkSweep"; }
+    Address allocate(std::uint32_t bytes) override;
+    void collect(bool major) override;
+    std::uint64_t heapUsed() const override;
+
+    const FreeListAllocator &allocator() const { return alloc_; }
+
+  private:
+    /** Sweep all blocks, rebuilding the free lists. Charged. */
+    void sweep();
+
+    FreeListAllocator alloc_;
+};
+
+} // namespace jvm
+} // namespace javelin
+
+#endif // JAVELIN_JVM_GC_MARKSWEEP_HH

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Remembered set for the generational collectors: a sequential store
+ * buffer (SSB) of mature-space slot addresses that may hold references
+ * into the nursery. The write barrier appends to it; minor collections
+ * treat its entries as roots and then clear it.
+ */
+
+#ifndef JAVELIN_JVM_GC_REMSET_HH
+#define JAVELIN_JVM_GC_REMSET_HH
+
+#include <vector>
+
+#include "jvm/address.hh"
+#include "sim/system.hh"
+
+namespace javelin {
+namespace jvm {
+
+/**
+ * Sequential store buffer of interesting slots.
+ */
+class RememberedSet
+{
+  public:
+    explicit RememberedSet(sim::System &system);
+
+    /** Append one slot address (charges the SSB buffer store). */
+    void record(Address slot_addr);
+
+    std::size_t size() const { return slots_.size(); }
+    bool empty() const { return slots_.empty(); }
+
+    /** Visit every recorded slot. */
+    template <typename Fn>
+    void
+    forEach(Fn &&fn) const
+    {
+        for (const Address slot : slots_)
+            fn(slot);
+    }
+
+    void clear() { slots_.clear(); }
+
+    /** Drop entries matching a predicate (stale-slot pruning). */
+    template <typename Pred>
+    void
+    pruneIf(Pred &&pred)
+    {
+        std::erase_if(slots_, pred);
+    }
+
+  private:
+    /** Simulated location of the SSB buffer itself. */
+    static constexpr Address kSsbBase = kNativeBase + 0x200000;
+    /** The buffer wraps within this window for cache purposes. */
+    static constexpr std::size_t kSsbWindowSlots = 8192;
+
+    sim::System &system_;
+    std::vector<Address> slots_;
+};
+
+} // namespace jvm
+} // namespace javelin
+
+#endif // JAVELIN_JVM_GC_REMSET_HH

@@ -1,0 +1,68 @@
+#include "jvm/gc/semispace.hh"
+
+#include <utility>
+
+#include "jvm/gc/evacuator.hh"
+
+namespace javelin {
+namespace jvm {
+
+SemiSpaceCollector::SemiSpaceCollector(const GcEnv &env)
+    : Collector(env)
+{
+    const std::uint64_t half = (env_.heap.size() / 2) & ~7ULL;
+    active_ = Space("ss-from", env_.heap.base(), half);
+    idle_ = Space("ss-to", env_.heap.base() + half, half);
+}
+
+Address
+SemiSpaceCollector::allocate(std::uint32_t bytes)
+{
+    // Fast path: bump pointer (test + add + cursor store).
+    chargeWork(6, kAllocCode);
+    Address addr = active_.bump(bytes);
+    if (addr == kNull) {
+        collect(true);
+        chargeWork(6, kAllocCode);
+        addr = active_.bump(bytes);
+        if (addr == kNull)
+            return kNull; // genuinely out of memory
+    }
+    stats_.bytesAllocated += bytes;
+    ++stats_.objectsAllocated;
+    return addr;
+}
+
+void
+SemiSpaceCollector::collect(bool major)
+{
+    (void)major; // every collection is full-heap
+    env_.host.gcBegin(true);
+    const Tick start = env_.system.cpu().now();
+
+    idle_.reset();
+    const Space from = active_;
+    Evacuator evac(
+        env_, stats_,
+        [&from](Address a) { return from.contains(a); },
+        [this](std::uint32_t bytes) { return idle_.bump(bytes); });
+
+    env_.host.forEachRoot([&evac](Address &ref) {
+        evac.processSlot(ref);
+    });
+    evac.drain();
+    JAVELIN_ASSERT(!evac.failed(),
+                   "semispace to-space overflow (halves are equal)");
+
+    std::swap(active_, idle_);
+    ++stats_.collections;
+    ++stats_.majorCollections;
+    stats_.bytesFreed += from.used() > active_.used()
+                             ? from.used() - active_.used()
+                             : 0;
+    stats_.pauseTicks += env_.system.cpu().now() - start;
+    env_.host.gcEnd(true);
+}
+
+} // namespace jvm
+} // namespace javelin

@@ -1,0 +1,16 @@
+#include "jvm/heap.hh"
+
+#include "util/units.hh"
+
+namespace javelin {
+namespace jvm {
+
+Heap::Heap(std::uint64_t bytes)
+    : mem_(bytes, 0)
+{
+    JAVELIN_ASSERT(bytes >= 64 * kKiB, "heap too small: ", bytes);
+    JAVELIN_ASSERT(bytes % 8 == 0, "heap size must be 8-byte aligned");
+}
+
+} // namespace jvm
+} // namespace javelin

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * The simulated Java heap: a contiguous range of simulated addresses
+ * backed by host memory, carved into Spaces by the collectors.
+ *
+ * Heap accessors here are *untimed* — they move bytes only. All cache
+ * and cycle accounting is done by the callers (ObjectModel, allocators,
+ * collectors) through the CpuModel, so the timing and the data paths
+ * stay independently testable.
+ */
+
+#ifndef JAVELIN_JVM_HEAP_HH
+#define JAVELIN_JVM_HEAP_HH
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "jvm/address.hh"
+#include "util/logging.hh"
+
+namespace javelin {
+namespace jvm {
+
+/**
+ * Backing store for the simulated heap.
+ */
+class Heap
+{
+  public:
+    explicit Heap(std::uint64_t bytes);
+
+    Address base() const { return kHeapBase; }
+    std::uint64_t size() const { return mem_.size(); }
+    Address end() const { return kHeapBase + mem_.size(); }
+
+    bool
+    contains(Address addr) const
+    {
+        return addr >= kHeapBase && addr < end();
+    }
+
+    /** Host pointer for a simulated address. */
+    std::uint8_t *
+    ptr(Address addr)
+    {
+        JAVELIN_ASSERT(contains(addr), "heap access out of range: ", addr);
+        return mem_.data() + (addr - kHeapBase);
+    }
+
+    const std::uint8_t *
+    ptr(Address addr) const
+    {
+        JAVELIN_ASSERT(contains(addr), "heap access out of range: ", addr);
+        return mem_.data() + (addr - kHeapBase);
+    }
+
+    std::uint64_t
+    read64(Address addr) const
+    {
+        std::uint64_t v;
+        std::memcpy(&v, ptr(addr), sizeof(v));
+        return v;
+    }
+
+    void
+    write64(Address addr, std::uint64_t v)
+    {
+        std::memcpy(ptr(addr), &v, sizeof(v));
+    }
+
+    std::uint32_t
+    read32(Address addr) const
+    {
+        std::uint32_t v;
+        std::memcpy(&v, ptr(addr), sizeof(v));
+        return v;
+    }
+
+    void
+    write32(Address addr, std::uint32_t v)
+    {
+        std::memcpy(ptr(addr), &v, sizeof(v));
+    }
+
+    /** Copy a block within the heap (regions must not overlap). */
+    void
+    copyBlock(Address dst, Address src, std::uint32_t bytes)
+    {
+        JAVELIN_ASSERT(dst + bytes <= end() && src + bytes <= end(),
+                       "copyBlock out of range");
+        std::memcpy(ptr(dst), ptr(src), bytes);
+    }
+
+    void
+    zero(Address addr, std::uint32_t bytes)
+    {
+        JAVELIN_ASSERT(addr + bytes <= end(), "zero out of range");
+        std::memset(ptr(addr), 0, bytes);
+    }
+
+  private:
+    std::vector<std::uint8_t> mem_;
+};
+
+/**
+ * A contiguous region of the heap with an optional bump cursor.
+ */
+struct Space
+{
+    std::string name;
+    Address start = 0;
+    std::uint64_t size = 0;
+    Address cursor = 0;
+
+    Space() = default;
+    Space(std::string n, Address s, std::uint64_t sz)
+        : name(std::move(n)), start(s), size(sz), cursor(s)
+    {
+    }
+
+    Address end() const { return start + size; }
+    bool
+    contains(Address addr) const
+    {
+        return addr >= start && addr < end();
+    }
+    std::uint64_t used() const { return cursor - start; }
+    std::uint64_t freeBytes() const { return end() - cursor; }
+    void reset() { cursor = start; }
+
+    /** Bump-allocate; returns 0 if the space is exhausted. */
+    Address
+    bump(std::uint32_t bytes)
+    {
+        if (cursor + bytes > end())
+            return kNull;
+        const Address addr = cursor;
+        cursor += bytes;
+        return addr;
+    }
+};
+
+} // namespace jvm
+} // namespace javelin
+
+#endif // JAVELIN_JVM_HEAP_HH

@@ -1,0 +1,480 @@
+#include "jvm/interpreter.hh"
+
+#include <algorithm>
+
+namespace javelin {
+namespace jvm {
+
+Interpreter::Interpreter(sim::System &system, core::ComponentPort &port,
+                         const Program &program, ObjectModel &om,
+                         Collector &collector, ClassLoader &loader,
+                         CompilerModel &compiler,
+                         std::vector<MethodRuntime> &method_rt,
+                         Statics &statics, const Config &config)
+    : system_(system), port_(port), program_(program), om_(om),
+      collector_(collector), loader_(loader), compiler_(compiler),
+      methodRt_(method_rt), statics_(statics), config_(config),
+      rng_(program.randSeed),
+      needsBarrier_(collector.needsWriteBarrier())
+{
+    JAVELIN_ASSERT(methodRt_.size() == program_.methods.size(),
+                   "method runtime table size mismatch");
+    frames_.reserve(config_.maxStackDepth);
+    intRegs_.reserve(4096);
+    refRegs_.reserve(2048);
+}
+
+MethodId
+Interpreter::currentMethod() const
+{
+    return frames_.empty() ? program_.entry : frames_.back().method->id;
+}
+
+void
+Interpreter::forEachStackRoot(const std::function<void(Address &)> &fn)
+{
+    for (Address &ref : refRegs_)
+        fn(ref);
+}
+
+void
+Interpreter::prepareMethod(MethodId id)
+{
+    MethodRuntime &rt = methodRt_[id];
+    ++rt.invocations;
+    if (rt.tier != Tier::Interpreted ||
+        config_.compileOnInvoke == Tier::Interpreted)
+        return;
+    const MethodInfo &m = program_.methods[id];
+    loader_.ensureLoaded(m.holder);
+    if (config_.compileOnInvoke == Tier::Jitted)
+        compiler_.jitCompile(m, rt);
+    else
+        compiler_.baselineCompile(m, rt);
+}
+
+void
+Interpreter::pushFrame(MethodId id, const Frame *caller,
+                       std::int32_t ret_dst, std::int32_t int_arg_base,
+                       std::int32_t ref_arg_base)
+{
+    if (frames_.size() >= config_.maxStackDepth)
+        throw StackOverflowError{};
+    prepareMethod(id);
+
+    const MethodInfo &m = program_.methods[id];
+    Frame f;
+    f.method = &m;
+    f.rt = &methodRt_[id];
+    f.pc = 0;
+    f.intBase = static_cast<std::uint32_t>(intRegs_.size());
+    f.refBase = static_cast<std::uint32_t>(refRegs_.size());
+    f.retDst = ret_dst;
+    intRegs_.resize(intRegs_.size() + m.nIntRegs, 0);
+    refRegs_.resize(refRegs_.size() + m.nRefRegs, kNull);
+
+    if (caller) {
+        for (std::uint32_t i = 0; i < m.nIntArgs; ++i)
+            intRegs_[f.intBase + i] =
+                intRegs_[caller->intBase + int_arg_base + i];
+        for (std::uint32_t i = 0; i < m.nRefArgs; ++i)
+            refRegs_[f.refBase + i] =
+                refRegs_[caller->refBase + ref_arg_base + i];
+    }
+    frames_.push_back(f);
+
+    // Frame setup: link, spill, prologue.
+    sim::CpuModel &cpu = system_.cpu();
+    cpu.execute(6, kVmCodeBase + 0x1e000, 24);
+    cpu.store(kStackBase + frames_.size() * 64);
+}
+
+void
+Interpreter::popFrame(std::int64_t value)
+{
+    const Frame f = frames_.back();
+    frames_.pop_back();
+    intRegs_.resize(f.intBase);
+    refRegs_.resize(f.refBase);
+
+    sim::CpuModel &cpu = system_.cpu();
+    cpu.execute(4, kVmCodeBase + 0x1e400, 16);
+    cpu.load(kStackBase + (frames_.size() + 1) * 64);
+
+    if (frames_.empty()) {
+        result_ = value;
+    } else if (f.retDst >= 0) {
+        const Frame &caller = frames_.back();
+        intRegs_[caller.intBase + f.retDst] = value;
+    }
+}
+
+void
+Interpreter::chargeDispatch(const Frame &f, Op op)
+{
+    sim::CpuModel &cpu = system_.cpu();
+    const auto &costs = compiler_.costs();
+    switch (f.rt->tier) {
+      case Tier::Interpreted:
+        cpu.execute(12, kInterpreterCodeBase +
+                            static_cast<Address>(op) * 128, 48);
+        cpu.load(f.method->bytecodeAddr + f.pc * sizeof(Instruction));
+        break;
+      case Tier::Baseline:
+        cpu.execute(4, f.rt->codeAddr + f.pc * costs.baselineBytesPerBc,
+                    costs.baselineBytesPerBc);
+        break;
+      case Tier::Jitted:
+        cpu.execute(5, f.rt->codeAddr + f.pc * costs.jitBytesPerBc,
+                    costs.jitBytesPerBc);
+        break;
+      case Tier::Optimized:
+        cpu.execute(2, f.rt->codeAddr + f.pc * costs.optBytesPerBc,
+                    costs.optBytesPerBc);
+        break;
+    }
+
+    // Frame-local spill/reload traffic: baseline and JIT code keep the
+    // register file in the stack frame (L1-resident), optimized code
+    // keeps most of it in machine registers.
+    const std::uint32_t spillOneIn =
+        f.rt->tier == Tier::Optimized ? 4 : 1;
+    if ((++spillCounter_ % spillOneIn) == 0) {
+        const Address frame =
+            kStackBase + frames_.size() * 256;
+        cpu.load(frame + ((f.pc * 8) & 0xf8));
+    }
+}
+
+std::uint32_t
+Interpreter::semUops(const Frame &f, std::uint32_t uops) const
+{
+    if (f.rt->tier == Tier::Optimized)
+        return std::max<std::uint32_t>(1, (uops * 7) >> 3);
+    if (f.rt->tier == Tier::Jitted)
+        return uops + (uops >> 2); // naive code: ~25% more micro-ops
+    return uops;
+}
+
+bool
+Interpreter::elideFieldAccess(const Frame &f)
+{
+    if (f.rt->tier != Tier::Optimized)
+        return false;
+    return (++elideCounter_ % config_.optElideOneIn) == 0;
+}
+
+Address
+Interpreter::allocObject(ClassId cls_id, std::uint32_t array_len)
+{
+    loader_.ensureLoaded(cls_id);
+    const ClassInfo &cls = program_.classOf(cls_id);
+    const std::uint32_t bytes = om_.objectBytes(cls, array_len);
+    const Address addr = collector_.allocate(bytes);
+    if (addr == kNull)
+        throw OutOfMemoryError{bytes};
+    om_.initObject(addr, cls, bytes, array_len);
+    collector_.postInit(addr);
+    return addr;
+}
+
+void
+Interpreter::doNativeWork(std::uint32_t uops, std::uint32_t bytes)
+{
+    sim::CpuModel &cpu = system_.cpu();
+    constexpr std::uint64_t kWindow = 1 << 20;
+    std::uint32_t remaining = uops;
+    std::uint32_t off = 0;
+    while (remaining > 0 || off < bytes) {
+        const std::uint32_t chunk = std::min<std::uint32_t>(remaining, 64);
+        if (chunk)
+            cpu.execute(chunk, kVmCodeBase + 0x1c000, chunk * 4);
+        remaining -= chunk;
+        if (off < bytes) {
+            cpu.load(kNativeBase + (nativeCursor_ % kWindow));
+            nativeCursor_ += 64;
+            off += 64;
+        }
+        system_.poll();
+    }
+}
+
+std::int64_t
+Interpreter::run(MethodId entry)
+{
+    JAVELIN_ASSERT(frames_.empty(), "engine already running");
+    halted_ = false;
+    result_ = 0;
+    pushFrame(entry, nullptr, -1, 0, 0);
+
+    sim::CpuModel &cpu = system_.cpu();
+    std::uint32_t pollCountdown = config_.pollInterval;
+    std::uint32_t quantumCountdown = config_.quantumBytecodes;
+
+    while (!frames_.empty() && !halted_) {
+        Frame &f = frames_.back();
+        JAVELIN_ASSERT(f.pc < f.method->code.size(),
+                       "pc fell off method ", f.method->name);
+        const Instruction &in = f.method->code[f.pc];
+        chargeDispatch(f, in.op);
+        ++executed_;
+
+        // Register-file views for this frame.
+        std::int64_t *ir = intRegs_.data() + f.intBase;
+        Address *rr = refRegs_.data() + f.refBase;
+
+        std::uint32_t next = f.pc + 1;
+        switch (in.op) {
+          case Op::Nop:
+            break;
+          case Op::IConst:
+            cpu.execute(semUops(f, 1), 0, 0);
+            ir[in.a] = in.b;
+            break;
+          case Op::Move:
+            cpu.execute(semUops(f, 1), 0, 0);
+            ir[in.a] = ir[in.b];
+            break;
+          case Op::IAdd:
+            cpu.execute(semUops(f, 1), 0, 0);
+            ir[in.a] = ir[in.b] + ir[in.c];
+            break;
+          case Op::ISub:
+            cpu.execute(semUops(f, 1), 0, 0);
+            ir[in.a] = ir[in.b] - ir[in.c];
+            break;
+          case Op::IMul:
+            cpu.execute(semUops(f, 2), 0, 0);
+            ir[in.a] = ir[in.b] * ir[in.c];
+            break;
+          case Op::IDiv:
+            cpu.execute(semUops(f, 8), 0, 0);
+            ir[in.a] = ir[in.c] != 0 ? ir[in.b] / ir[in.c] : 0;
+            break;
+          case Op::IRem:
+            cpu.execute(semUops(f, 8), 0, 0);
+            ir[in.a] = ir[in.c] != 0 ? ir[in.b] % ir[in.c] : 0;
+            break;
+          case Op::IXor:
+            cpu.execute(semUops(f, 1), 0, 0);
+            ir[in.a] = ir[in.b] ^ ir[in.c];
+            break;
+          case Op::FAdd:
+            cpu.execute(semUops(f, 3), 0, 0);
+            // FP pipelines expose latency on dependent accumulations.
+            cpu.stall(2.5);
+            ir[in.a] = ir[in.b] + ir[in.c];
+            break;
+          case Op::FMul:
+            cpu.execute(semUops(f, 4), 0, 0);
+            cpu.stall(3.5);
+            ir[in.a] = ir[in.b] * ir[in.c];
+            break;
+          case Op::Rand: {
+            cpu.execute(semUops(f, 5), 0, 0);
+            const std::int64_t bound = ir[in.b];
+            ir[in.a] = bound > 0
+                ? static_cast<std::int64_t>(rng_.uniformInt(
+                      static_cast<std::uint64_t>(bound)))
+                : 0;
+            break;
+          }
+          case Op::Goto:
+            cpu.branch(false);
+            next = static_cast<std::uint32_t>(in.a);
+            break;
+          case Op::IfLt:
+          case Op::IfGe:
+          case Op::IfEq:
+          case Op::IfNe: {
+            cpu.execute(semUops(f, 1), 0, 0);
+            bool taken = false;
+            switch (in.op) {
+              case Op::IfLt: taken = ir[in.a] < ir[in.b]; break;
+              case Op::IfGe: taken = ir[in.a] >= ir[in.b]; break;
+              case Op::IfEq: taken = ir[in.a] == ir[in.b]; break;
+              default:       taken = ir[in.a] != ir[in.b]; break;
+            }
+            const bool mispredict =
+                taken && (++branchCounter_ % config_.mispredictOneIn) == 0;
+            cpu.branch(mispredict);
+            if (taken)
+                next = static_cast<std::uint32_t>(in.c);
+            break;
+          }
+          case Op::IfNull:
+          case Op::IfNotNull: {
+            cpu.execute(semUops(f, 1), 0, 0);
+            const bool taken = (in.op == Op::IfNull)
+                ? rr[in.a] == kNull
+                : rr[in.a] != kNull;
+            cpu.branch(false);
+            if (taken)
+                next = static_cast<std::uint32_t>(in.b);
+            break;
+          }
+          case Op::Call: {
+            cpu.execute(semUops(f, 4), 0, 0);
+            f.pc = next; // resume point after return
+            pushFrame(static_cast<MethodId>(in.b), &f, in.a, in.c, in.d);
+            goto frame_changed;
+          }
+          case Op::Ret: {
+            cpu.execute(semUops(f, 2), 0, 0);
+            popFrame(ir[in.a]);
+            goto frame_changed;
+          }
+          case Op::New: {
+            cpu.execute(semUops(f, 3), 0, 0);
+            const Address obj =
+                allocObject(static_cast<ClassId>(in.b), 0);
+            // Re-fetch the frame register view: a collection may have
+            // run and frames_/refRegs_ storage may have been reused.
+            refRegs_[frames_.back().refBase + in.a] = obj;
+            break;
+          }
+          case Op::NewArray: {
+            cpu.execute(semUops(f, 4), 0, 0);
+            const std::int64_t len = std::max<std::int64_t>(0, ir[in.c]);
+            const Address obj = allocObject(
+                static_cast<ClassId>(in.b),
+                static_cast<std::uint32_t>(len));
+            refRegs_[frames_.back().refBase + in.a] = obj;
+            break;
+          }
+          case Op::GetField: {
+            const Address obj = rr[in.b];
+            JAVELIN_ASSERT(obj != kNull, "null getfield in ",
+                           f.method->name);
+            cpu.execute(semUops(f, 2), 0, 0);
+            if (elideFieldAccess(f))
+                ir[in.a] = om_.scalarRaw(obj,
+                                         static_cast<std::uint32_t>(in.c));
+            else
+                ir[in.a] = om_.loadScalar(
+                    obj, static_cast<std::uint32_t>(in.c));
+            break;
+          }
+          case Op::PutField: {
+            const Address obj = rr[in.a];
+            JAVELIN_ASSERT(obj != kNull, "null putfield in ",
+                           f.method->name);
+            cpu.execute(semUops(f, 2), 0, 0);
+            om_.storeScalar(obj, static_cast<std::uint32_t>(in.b),
+                            ir[in.c]);
+            break;
+          }
+          case Op::GetRef: {
+            const Address obj = rr[in.b];
+            JAVELIN_ASSERT(obj != kNull, "null getref");
+            cpu.execute(semUops(f, 2), 0, 0);
+            rr[in.a] = om_.loadRef(obj, static_cast<std::uint32_t>(in.c));
+            break;
+          }
+          case Op::PutRef: {
+            const Address obj = rr[in.a];
+            JAVELIN_ASSERT(obj != kNull, "null putref");
+            cpu.execute(semUops(f, 2), 0, 0);
+            const Address value = rr[in.c];
+            const auto slot = static_cast<std::uint32_t>(in.b);
+            if (needsBarrier_)
+                collector_.writeBarrier(obj, om_.refSlotAddr(obj, slot),
+                                        value);
+            om_.storeRef(obj, slot, value);
+            break;
+          }
+          case Op::GetElem: {
+            const Address arr = rr[in.b];
+            JAVELIN_ASSERT(arr != kNull, "null getelem");
+            const auto idx = static_cast<std::uint32_t>(ir[in.c]);
+            JAVELIN_ASSERT(idx < om_.arrayLenRaw(arr),
+                           "getelem index out of bounds");
+            cpu.execute(semUops(f, 2), 0, 0);
+            if (elideFieldAccess(f))
+                ir[in.a] = om_.scalarRaw(arr, idx);
+            else
+                ir[in.a] = om_.loadScalar(arr, idx);
+            break;
+          }
+          case Op::PutElem: {
+            const Address arr = rr[in.a];
+            JAVELIN_ASSERT(arr != kNull, "null putelem");
+            const auto idx = static_cast<std::uint32_t>(ir[in.b]);
+            JAVELIN_ASSERT(idx < om_.arrayLenRaw(arr),
+                           "putelem index out of bounds");
+            cpu.execute(semUops(f, 2), 0, 0);
+            om_.storeScalar(arr, idx, ir[in.c]);
+            break;
+          }
+          case Op::GetRefElem: {
+            const Address arr = rr[in.b];
+            JAVELIN_ASSERT(arr != kNull, "null getrefelem");
+            const auto idx = static_cast<std::uint32_t>(ir[in.c]);
+            JAVELIN_ASSERT(idx < om_.arrayLenRaw(arr),
+                           "getrefelem index out of bounds");
+            cpu.execute(semUops(f, 2), 0, 0);
+            rr[in.a] = om_.loadRef(arr, idx);
+            break;
+          }
+          case Op::PutRefElem: {
+            const Address arr = rr[in.a];
+            JAVELIN_ASSERT(arr != kNull, "null putrefelem");
+            const auto idx = static_cast<std::uint32_t>(ir[in.b]);
+            JAVELIN_ASSERT(idx < om_.arrayLenRaw(arr),
+                           "putrefelem index out of bounds");
+            cpu.execute(semUops(f, 2), 0, 0);
+            const Address value = rr[in.c];
+            if (needsBarrier_)
+                collector_.writeBarrier(arr, om_.refSlotAddr(arr, idx),
+                                        value);
+            om_.storeRef(arr, idx, value);
+            break;
+          }
+          case Op::ArrayLen: {
+            const Address arr = rr[in.b];
+            JAVELIN_ASSERT(arr != kNull, "null arraylen");
+            cpu.execute(semUops(f, 1), 0, 0);
+            cpu.load(arr + kAuxOffset);
+            ir[in.a] = om_.arrayLenRaw(arr);
+            break;
+          }
+          case Op::GetStatic:
+            cpu.execute(semUops(f, 1), 0, 0);
+            rr[in.a] = statics_.load(static_cast<std::uint32_t>(in.b));
+            break;
+          case Op::PutStatic:
+            cpu.execute(semUops(f, 1), 0, 0);
+            statics_.store(static_cast<std::uint32_t>(in.a), rr[in.b]);
+            break;
+          case Op::NativeWork:
+            doNativeWork(static_cast<std::uint32_t>(in.a),
+                         static_cast<std::uint32_t>(in.b));
+            break;
+          case Op::Halt:
+            halted_ = true;
+            break;
+          case Op::NumOps:
+            JAVELIN_PANIC("invalid opcode executed");
+        }
+        f.pc = next;
+
+      frame_changed:
+        if (--pollCountdown == 0) {
+            pollCountdown = config_.pollInterval;
+            system_.poll();
+        }
+        if (--quantumCountdown == 0) {
+            quantumCountdown = config_.quantumBytecodes;
+            if (onQuantum)
+                onQuantum();
+        }
+    }
+
+    frames_.clear();
+    intRegs_.clear();
+    refRegs_.clear();
+    return result_;
+}
+
+} // namespace jvm
+} // namespace javelin

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * The execution engine.
+ *
+ * Executes javelin bytecode under any compilation tier. One engine
+ * implements the semantics; the *cost model* differs per tier:
+ *
+ *  - Interpreted: template-dispatch micro-ops at the interpreter's own
+ *    code addresses plus a data-side fetch of the bytecode itself.
+ *  - Baseline (Jikes first-invoke): modest per-bytecode overhead,
+ *    instruction fetch walks the method's emitted code linearly.
+ *  - Optimized (adaptive recompilation): lower overhead, denser code,
+ *    and a fraction of scalar field traffic elided by register
+ *    allocation (the value is still read — only the timing access is
+ *    removed, so semantics never depend on the tier).
+ *  - Jitted (Kaffe): baseline-like but with bulkier, slower code.
+ *
+ * The engine polls the system's periodic tasks at bytecode granularity
+ * (the safepoint mechanism) and yields to service work — the optimizing
+ * compiler thread — every scheduling quantum.
+ */
+
+#ifndef JAVELIN_JVM_INTERPRETER_HH
+#define JAVELIN_JVM_INTERPRETER_HH
+
+#include <functional>
+
+#include "core/component_port.hh"
+#include "jvm/classloader.hh"
+#include "jvm/compilers.hh"
+#include "jvm/gc/collector.hh"
+#include "jvm/statics.hh"
+#include "util/random.hh"
+
+namespace javelin {
+namespace jvm {
+
+/** Thrown when the collector cannot satisfy an allocation. */
+struct OutOfMemoryError
+{
+    std::uint32_t requestedBytes = 0;
+};
+
+/** Thrown when the call stack exceeds its configured limit. */
+struct StackOverflowError
+{
+};
+
+/**
+ * Bytecode execution engine.
+ */
+class Interpreter
+{
+  public:
+    struct Config
+    {
+        /** Tier installed on a method's first invocation. */
+        Tier compileOnInvoke = Tier::Baseline;
+        /** Bytecodes between scheduler-quantum callbacks. */
+        std::uint32_t quantumBytecodes = 4096;
+        /** Bytecodes between periodic-task polls. */
+        std::uint32_t pollInterval = 16;
+        /** Maximum call depth. */
+        std::uint32_t maxStackDepth = 256;
+        /** Taken branches mispredicted: one in N. */
+        std::uint32_t mispredictOneIn = 8;
+        /** Scalar field accesses elided in optimized code: one in N. */
+        std::uint32_t optElideOneIn = 4;
+    };
+
+    Interpreter(sim::System &system, core::ComponentPort &port,
+                const Program &program, ObjectModel &om,
+                Collector &collector, ClassLoader &loader,
+                CompilerModel &compiler,
+                std::vector<MethodRuntime> &method_rt, Statics &statics,
+                const Config &config);
+
+    /**
+     * Run the program's entry method to completion.
+     * @return the entry method's return value (0 if it halts).
+     * @throws OutOfMemoryError, StackOverflowError
+     */
+    std::int64_t run(MethodId entry);
+
+    /** Visit every reference register of every live frame. */
+    void forEachStackRoot(const std::function<void(Address &)> &fn);
+
+    /** Method currently on top of the stack (for adaptive sampling). */
+    MethodId currentMethod() const;
+
+    /** Invoked every scheduling quantum (service-thread dispatch). */
+    std::function<void()> onQuantum;
+
+    /** Total bytecodes executed. */
+    std::uint64_t bytecodesExecuted() const { return executed_; }
+
+    const Config &config() const { return config_; }
+
+  private:
+    struct Frame
+    {
+        const MethodInfo *method;
+        MethodRuntime *rt;
+        std::uint32_t pc;
+        std::uint32_t intBase;
+        std::uint32_t refBase;
+        std::int32_t retDst;
+    };
+
+    void pushFrame(MethodId id, const Frame *caller, std::int32_t ret_dst,
+                   std::int32_t int_arg_base, std::int32_t ref_arg_base);
+    void popFrame(std::int64_t value);
+    void prepareMethod(MethodId id);
+    void chargeDispatch(const Frame &f, Op op);
+    std::uint32_t semUops(const Frame &f, std::uint32_t uops) const;
+    bool elideFieldAccess(const Frame &f);
+    Address allocObject(ClassId cls_id, std::uint32_t array_len);
+    void doNativeWork(std::uint32_t uops, std::uint32_t bytes);
+
+    sim::System &system_;
+    core::ComponentPort &port_;
+    const Program &program_;
+    ObjectModel &om_;
+    Collector &collector_;
+    ClassLoader &loader_;
+    CompilerModel &compiler_;
+    std::vector<MethodRuntime> &methodRt_;
+    Statics &statics_;
+    Config config_;
+    Rng rng_;
+
+    std::vector<Frame> frames_;
+    std::vector<std::int64_t> intRegs_;
+    std::vector<Address> refRegs_;
+
+    bool needsBarrier_;
+    std::uint64_t executed_ = 0;
+    std::uint32_t branchCounter_ = 0;
+    std::uint32_t spillCounter_ = 0;
+    std::uint32_t elideCounter_ = 0;
+    std::uint64_t nativeCursor_ = 0;
+    std::int64_t result_ = 0;
+    bool halted_ = false;
+};
+
+} // namespace jvm
+} // namespace javelin
+
+#endif // JAVELIN_JVM_INTERPRETER_HH

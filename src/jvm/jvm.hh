@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Top-level virtual machine.
+ *
+ * Assembles heap, object model, collector, class loader, compilers and
+ * execution engine over a simulated System, and implements the two VM
+ * personalities of the paper:
+ *
+ *  - Jikes RVM: no interpreter (baseline compile on first invocation),
+ *    timer-sampled adaptive optimizing recompilation running on a
+ *    service thread, system classes merged into the VM image, choice of
+ *    SemiSpace / MarkSweep / GenCopy / GenMS collectors, component IDs
+ *    written at thread-dispatch points.
+ *  - Kaffe: one-shot non-optimizing JIT, incremental tri-colour
+ *    mark-sweep collector, every class (including system classes)
+ *    loaded lazily, component IDs written by entry/exit bracketing.
+ *
+ * The Jvm is the GcHost: it enumerates roots (statics + stack registers)
+ * and brackets collector activity on the component port.
+ */
+
+#ifndef JAVELIN_JVM_JVM_HH
+#define JAVELIN_JVM_JVM_HH
+
+#include <deque>
+#include <memory>
+
+#include "jvm/interpreter.hh"
+
+namespace javelin {
+namespace jvm {
+
+/** Which virtual machine personality to run. */
+enum class VmKind { Jikes, Kaffe };
+
+const char *vmKindName(VmKind kind);
+
+/**
+ * Full VM configuration for one run.
+ */
+struct JvmConfig
+{
+    VmKind kind = VmKind::Jikes;
+    CollectorKind collector = CollectorKind::GenCopy;
+    /** Heap size in (already scaled) bytes. */
+    std::uint64_t heapBytes = 4 * kMiB;
+
+    /** Adaptive-system sampling interval (Jikes only). */
+    Tick sampleInterval = 100 * kTicksPerMicro;
+    /** Samples before a method is declared hot. */
+    std::uint32_t hotSampleThreshold = 4;
+    /** Opt-compiler work units per service-thread slice. */
+    std::uint32_t optSliceUnits = 800;
+    /** Enable the adaptive optimizing system (Jikes only). */
+    bool adaptiveOptimization = true;
+
+    Interpreter::Config interp;
+
+    /** Charge component-port writes to the CPU (perturbation study). */
+    bool chargePortWrites = true;
+    /** Charge write-barrier work to the mutator (ablation A2). */
+    bool chargeBarrierCost = true;
+};
+
+/**
+ * Result of one benchmark run.
+ */
+struct RunResult
+{
+    std::int64_t returnValue = 0;
+    bool outOfMemory = false;
+    bool stackOverflow = false;
+    std::uint64_t bytecodesExecuted = 0;
+    Collector::Stats gc;
+    std::uint32_t classesLoaded = 0;
+    std::uint32_t methodsCompiled = 0;
+    std::uint32_t methodsOptimized = 0;
+    Tick startTick = 0;
+    Tick endTick = 0;
+
+    double
+    seconds() const
+    {
+        return ticksToSeconds(endTick - startTick);
+    }
+};
+
+/**
+ * One virtual machine instance (one run).
+ */
+class Jvm : public GcHost
+{
+  public:
+    Jvm(sim::System &system, const Program &program,
+        const JvmConfig &config);
+    ~Jvm() override;
+
+    /** Execute the program's entry method to completion. */
+    RunResult run();
+
+    core::ComponentPort &port() { return port_; }
+    Collector &collector() { return *collector_; }
+    ClassLoader &classLoader() { return loader_; }
+    CompilerModel &compiler() { return compiler_; }
+    Interpreter &engine() { return *engine_; }
+    Statics &statics() { return statics_; }
+    Heap &heap() { return heap_; }
+    ObjectModel &objectModel() { return om_; }
+    const JvmConfig &config() const { return config_; }
+
+    // GcHost interface.
+    void forEachRoot(const std::function<void(Address &)> &fn) override;
+    void gcBegin(bool major) override;
+    void gcEnd(bool major) override;
+
+  private:
+    void adaptiveSample(Tick now);
+    void serviceQuantum();
+    void chargeSchedulerDispatch();
+
+    sim::System &system_;
+    const Program &program_;
+    JvmConfig config_;
+    core::ComponentPort port_;
+    Heap heap_;
+    ObjectModel om_;
+    std::unique_ptr<Collector> collector_;
+    ClassLoader loader_;
+    CompilerModel compiler_;
+    Statics statics_;
+    std::vector<MethodRuntime> methodRt_;
+    std::unique_ptr<Interpreter> engine_;
+    std::deque<MethodId> optQueue_;
+    bool running_ = false;
+};
+
+/** Derive the per-VM interpreter/loader settings for a personality. */
+Interpreter::Config interpConfigFor(VmKind kind);
+ClassLoader::Config loaderConfigFor(VmKind kind, const Program &program);
+
+} // namespace jvm
+} // namespace javelin
+
+#endif // JAVELIN_JVM_JVM_HH

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Fluent helper for constructing methods in javelin bytecode. Used by
+ * the workload program builder and by tests that need small hand-built
+ * programs. Tracks register allocation and supports forward branch
+ * patching.
+ */
+
+#ifndef JAVELIN_JVM_METHOD_BUILDER_HH
+#define JAVELIN_JVM_METHOD_BUILDER_HH
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <utility>
+
+#include "jvm/program.hh"
+#include "util/logging.hh"
+
+namespace javelin {
+namespace jvm {
+
+/**
+ * Builds one MethodInfo.
+ */
+class MethodBuilder
+{
+  public:
+    MethodBuilder(Program &program, std::string name, ClassId holder,
+                  std::uint16_t n_int_args = 0,
+                  std::uint16_t n_ref_args = 0)
+        : program_(program)
+    {
+        method_.id = static_cast<MethodId>(program.methods.size());
+        method_.name = std::move(name);
+        method_.holder = holder;
+        method_.nIntArgs = n_int_args;
+        method_.nRefArgs = n_ref_args;
+        nextInt_ = n_int_args;
+        nextRef_ = n_ref_args;
+    }
+
+    /** Allocate a fresh integer register. */
+    std::int32_t
+    ireg()
+    {
+        JAVELIN_ASSERT(nextInt_ < 256, "int register file exhausted");
+        return nextInt_++;
+    }
+
+    /** Allocate a fresh reference register. */
+    std::int32_t
+    rreg()
+    {
+        JAVELIN_ASSERT(nextRef_ < 256, "ref register file exhausted");
+        return nextRef_++;
+    }
+
+    /** Emit one instruction; returns its pc. */
+    std::uint32_t
+    emit(Op op, std::int32_t a = 0, std::int32_t b = 0,
+         std::int32_t c = 0, std::int32_t d = 0)
+    {
+        method_.code.push_back({op, a, b, c, d});
+        return static_cast<std::uint32_t>(method_.code.size() - 1);
+    }
+
+    /** Current pc (target for a backward branch landing here next). */
+    std::uint32_t
+    here() const
+    {
+        return static_cast<std::uint32_t>(method_.code.size());
+    }
+
+    /** Patch a previously emitted branch's target field. */
+    void
+    patchTarget(std::uint32_t pc, std::uint32_t target)
+    {
+        Instruction &in = method_.code.at(pc);
+        switch (in.op) {
+          case Op::Goto:
+            in.a = static_cast<std::int32_t>(target);
+            break;
+          case Op::IfLt:
+          case Op::IfGe:
+          case Op::IfEq:
+          case Op::IfNe:
+            in.c = static_cast<std::int32_t>(target);
+            break;
+          case Op::IfNull:
+          case Op::IfNotNull:
+            in.b = static_cast<std::int32_t>(target);
+            break;
+          default:
+            JAVELIN_PANIC("patching a non-branch at pc ", pc);
+        }
+    }
+
+    /** Convenience: load an immediate into a fresh register. */
+    std::int32_t
+    constant(std::int64_t value)
+    {
+        JAVELIN_ASSERT(value >= INT32_MIN && value <= INT32_MAX,
+                       "immediate out of range");
+        const std::int32_t r = ireg();
+        emit(Op::IConst, r, static_cast<std::int32_t>(value));
+        return r;
+    }
+
+    /** Finish with `ret src`; registers the method with the program. */
+    MethodId
+    finishRet(std::int32_t src)
+    {
+        emit(Op::Ret, src);
+        return commit();
+    }
+
+    /** Finish with `halt` (entry methods). */
+    MethodId
+    finishHalt()
+    {
+        emit(Op::Halt);
+        return commit();
+    }
+
+    MethodInfo &method() { return method_; }
+
+  private:
+    MethodId
+    commit()
+    {
+        method_.nIntRegs = nextInt_;
+        method_.nRefRegs = std::max<std::uint16_t>(nextRef_, 1);
+        const MethodId id = method_.id;
+        JAVELIN_ASSERT(id == program_.methods.size(),
+                       "methods added out of order during build of ",
+                       method_.name);
+        program_.methods.push_back(std::move(method_));
+        return id;
+    }
+
+    Program &program_;
+    MethodInfo method_;
+    std::uint16_t nextInt_ = 0;
+    std::uint16_t nextRef_ = 0;
+};
+
+} // namespace jvm
+} // namespace javelin
+
+#endif // JAVELIN_JVM_METHOD_BUILDER_HH

@@ -1,0 +1,202 @@
+#include "jvm/object_model.hh"
+
+namespace javelin {
+namespace jvm {
+
+ObjectModel::ObjectModel(Heap &heap, sim::CpuModel &cpu,
+                         const std::vector<ClassInfo> &classes)
+    : heap_(heap), cpu_(cpu), classes_(classes)
+{
+}
+
+std::uint32_t
+ObjectModel::objectBytes(const ClassInfo &cls, std::uint32_t array_len) const
+{
+    if (cls.isArray())
+        return alignUp(ClassInfo::arrayBytes(array_len));
+    return alignUp(cls.instanceBytes());
+}
+
+void
+ObjectModel::initObject(Address obj, const ClassInfo &cls,
+                        std::uint32_t total_bytes, std::uint32_t array_len)
+{
+    heap_.write32(obj + kClassIdOffset, cls.id);
+    heap_.write32(obj + kSizeOffset, total_bytes);
+    heap_.write32(obj + kGcBitsOffset, 0);
+    heap_.write32(obj + kAuxOffset, array_len);
+    heap_.zero(obj + kHeaderBytes, total_bytes - kHeaderBytes);
+
+    // Header store plus cache-line-granular zeroing traffic.
+    cpu_.store(obj);
+    for (std::uint32_t off = 64; off < total_bytes; off += 64)
+        cpu_.store(obj + off);
+}
+
+std::uint32_t
+ObjectModel::loadClassId(Address obj)
+{
+    cpu_.load(obj + kClassIdOffset);
+    return heap_.read32(obj + kClassIdOffset);
+}
+
+std::uint32_t
+ObjectModel::loadSize(Address obj)
+{
+    cpu_.load(obj + kSizeOffset);
+    return heap_.read32(obj + kSizeOffset);
+}
+
+std::uint32_t
+ObjectModel::loadGcBits(Address obj)
+{
+    cpu_.load(obj + kGcBitsOffset);
+    return heap_.read32(obj + kGcBitsOffset);
+}
+
+void
+ObjectModel::storeGcBits(Address obj, std::uint32_t bits)
+{
+    cpu_.store(obj + kGcBitsOffset);
+    heap_.write32(obj + kGcBitsOffset, bits);
+}
+
+Address
+ObjectModel::loadRef(Address obj, std::uint32_t slot)
+{
+    const Address a = refSlotAddr(obj, slot);
+    cpu_.load(a);
+    return heap_.read64(a);
+}
+
+void
+ObjectModel::storeRef(Address obj, std::uint32_t slot, Address value)
+{
+    const Address a = refSlotAddr(obj, slot);
+    cpu_.store(a);
+    heap_.write64(a, value);
+}
+
+std::int64_t
+ObjectModel::loadScalar(Address obj, std::uint32_t slot)
+{
+    const Address a = scalarSlotAddr(obj, slot);
+    cpu_.load(a);
+    return static_cast<std::int64_t>(heap_.read64(a));
+}
+
+void
+ObjectModel::storeScalar(Address obj, std::uint32_t slot,
+                         std::int64_t value)
+{
+    const Address a = scalarSlotAddr(obj, slot);
+    cpu_.store(a);
+    heap_.write64(a, static_cast<std::uint64_t>(value));
+}
+
+void
+ObjectModel::copyObject(Address dst, Address src, std::uint32_t bytes)
+{
+    heap_.copyBlock(dst, src, bytes);
+    for (std::uint32_t off = 0; off < bytes; off += 16) {
+        cpu_.load(src + off);
+        cpu_.store(dst + off);
+    }
+}
+
+void
+ObjectModel::setForwarding(Address obj, Address to)
+{
+    heap_.write32(obj + kGcBitsOffset,
+                  heap_.read32(obj + kGcBitsOffset) | kForwardedBit);
+    heap_.write64(obj + kClassIdOffset, to);
+    cpu_.store(obj);
+}
+
+Address
+ObjectModel::loadForwarding(Address obj)
+{
+    cpu_.load(obj);
+    return heap_.read64(obj + kClassIdOffset);
+}
+
+std::uint32_t
+ObjectModel::classIdRaw(Address obj) const
+{
+    return heap_.read32(obj + kClassIdOffset);
+}
+
+std::uint32_t
+ObjectModel::sizeRaw(Address obj) const
+{
+    return heap_.read32(obj + kSizeOffset);
+}
+
+std::uint32_t
+ObjectModel::gcBitsRaw(Address obj) const
+{
+    return heap_.read32(obj + kGcBitsOffset);
+}
+
+void
+ObjectModel::setGcBitsRaw(Address obj, std::uint32_t bits)
+{
+    heap_.write32(obj + kGcBitsOffset, bits);
+}
+
+std::uint32_t
+ObjectModel::auxRaw(Address obj) const
+{
+    return heap_.read32(obj + kAuxOffset);
+}
+
+Address
+ObjectModel::refRaw(Address obj, std::uint32_t slot) const
+{
+    return heap_.read64(refSlotAddr(obj, slot));
+}
+
+std::int64_t
+ObjectModel::scalarRaw(Address obj, std::uint32_t slot) const
+{
+    return static_cast<std::int64_t>(heap_.read64(scalarSlotAddr(obj, slot)));
+}
+
+Address
+ObjectModel::forwardingRaw(Address obj) const
+{
+    return heap_.read64(obj + kClassIdOffset);
+}
+
+const ClassInfo &
+ObjectModel::classOfRaw(Address obj) const
+{
+    const std::uint32_t id = classIdRaw(obj);
+    JAVELIN_ASSERT(id < classes_.size(), "corrupt object header at ", obj);
+    return classes_[id];
+}
+
+std::uint32_t
+ObjectModel::refCountRaw(Address obj) const
+{
+    const ClassInfo &cls = classOfRaw(obj);
+    if (cls.isRefArray)
+        return auxRaw(obj);
+    if (cls.isScalarArray)
+        return 0;
+    return cls.refFields;
+}
+
+std::uint32_t
+ObjectModel::scalarCountRaw(Address obj) const
+{
+    const ClassInfo &cls = classOfRaw(obj);
+    if (cls.isScalarArray)
+        return auxRaw(obj);
+    if (cls.isRefArray)
+        return 0;
+    return cls.scalarFields;
+}
+
+} // namespace jvm
+} // namespace javelin

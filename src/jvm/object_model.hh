@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Object layout and timed heap access.
+ *
+ * Every object is laid out as a 16-byte header (class id, total size,
+ * GC word, aux/array-length) followed by reference slots and then scalar
+ * slots, each 8 bytes. Accessors come in two flavours: the default ones
+ * charge the CPU model for the memory traffic (this is how JVM activity
+ * turns into cache behaviour and ultimately power); the *Raw variants
+ * move data without timing and exist for tests and invariant checkers.
+ *
+ * GC metadata uses the gcBits word; when an object has been moved, a
+ * 64-bit forwarding pointer overwrites the first header word (the
+ * from-space copy is dead at that point, exactly as in a real Cheney
+ * collector).
+ */
+
+#ifndef JAVELIN_JVM_OBJECT_MODEL_HH
+#define JAVELIN_JVM_OBJECT_MODEL_HH
+
+#include <functional>
+
+#include "jvm/heap.hh"
+#include "jvm/program.hh"
+#include "sim/cpu_model.hh"
+
+namespace javelin {
+namespace jvm {
+
+/** GC bit assignments within the gcBits header word. */
+enum GcBits : std::uint32_t
+{
+    kMarkBit = 1u << 0,
+    kForwardedBit = 1u << 1,
+    kLoggedBit = 1u << 2,     ///< object is in a remembered set
+    kColorShift = 4,          ///< two-bit tri-colour field
+    kColorMask = 3u << kColorShift,
+};
+
+/** Tri-colour states for the incremental collector. */
+enum class Color : std::uint32_t { White = 0, Gray = 1, Black = 2 };
+
+/** Header field offsets. */
+constexpr std::uint32_t kClassIdOffset = 0;
+constexpr std::uint32_t kSizeOffset = 4;
+constexpr std::uint32_t kGcBitsOffset = 8;
+constexpr std::uint32_t kAuxOffset = 12;
+
+/**
+ * Object layout operations over a Heap, charging a CpuModel.
+ */
+class ObjectModel
+{
+  public:
+    ObjectModel(Heap &heap, sim::CpuModel &cpu,
+                const std::vector<ClassInfo> &classes);
+
+    /** Total heap bytes for an instance of cls (array_len for arrays). */
+    std::uint32_t objectBytes(const ClassInfo &cls,
+                              std::uint32_t array_len) const;
+
+    /**
+     * Write a fresh header and zero the body. Charges header stores and
+     * cache-line-granular zeroing traffic.
+     */
+    void initObject(Address obj, const ClassInfo &cls,
+                    std::uint32_t total_bytes, std::uint32_t array_len);
+
+    // --- charged accessors (drive the cache model) ---
+
+    /** Load the header word pair (one line access). */
+    std::uint32_t loadClassId(Address obj);
+    std::uint32_t loadSize(Address obj);
+    std::uint32_t loadGcBits(Address obj);
+    void storeGcBits(Address obj, std::uint32_t bits);
+
+    Address loadRef(Address obj, std::uint32_t slot);
+    void storeRef(Address obj, std::uint32_t slot, Address value);
+    std::int64_t loadScalar(Address obj, std::uint32_t slot);
+    void storeScalar(Address obj, std::uint32_t slot, std::int64_t value);
+
+    /** Copy an object's bytes (charged per 16-byte chunk). */
+    void copyObject(Address dst, Address src, std::uint32_t bytes);
+
+    /** Install a forwarding pointer over the from-space header. */
+    void setForwarding(Address obj, Address to);
+
+    /** Follow a forwarding pointer (caller checked the bit). */
+    Address loadForwarding(Address obj);
+
+    // --- raw (untimed) accessors for host-side bookkeeping & tests ---
+
+    std::uint32_t classIdRaw(Address obj) const;
+    std::uint32_t sizeRaw(Address obj) const;
+    std::uint32_t gcBitsRaw(Address obj) const;
+    void setGcBitsRaw(Address obj, std::uint32_t bits);
+    std::uint32_t auxRaw(Address obj) const;
+    Address refRaw(Address obj, std::uint32_t slot) const;
+    std::int64_t scalarRaw(Address obj, std::uint32_t slot) const;
+    Address forwardingRaw(Address obj) const;
+    bool
+    isForwardedRaw(Address obj) const
+    {
+        return (gcBitsRaw(obj) & kForwardedBit) != 0;
+    }
+
+    /** Class of an object via its (raw) header. */
+    const ClassInfo &classOfRaw(Address obj) const;
+
+    /** Number of reference slots (raw header reads). */
+    std::uint32_t refCountRaw(Address obj) const;
+
+    /** Number of scalar slots (raw header reads). */
+    std::uint32_t scalarCountRaw(Address obj) const;
+
+    /** Array length (raw). */
+    std::uint32_t arrayLenRaw(Address obj) const { return auxRaw(obj); }
+
+    /** Address of a reference slot. */
+    Address
+    refSlotAddr(Address obj, std::uint32_t slot) const
+    {
+        return obj + kHeaderBytes + slot * kSlotBytes;
+    }
+
+    /** Address of a scalar slot (scalars follow the reference slots). */
+    Address
+    scalarSlotAddr(Address obj, std::uint32_t slot) const
+    {
+        return obj + kHeaderBytes +
+               (refCountRaw(obj) + slot) * kSlotBytes;
+    }
+
+    Heap &heap() { return heap_; }
+    const std::vector<ClassInfo> &classes() const { return classes_; }
+
+  private:
+    Heap &heap_;
+    sim::CpuModel &cpu_;
+    const std::vector<ClassInfo> &classes_;
+};
+
+} // namespace jvm
+} // namespace javelin
+
+#endif // JAVELIN_JVM_OBJECT_MODEL_HH

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Static program representation: classes, methods, and the program
+ * object as loaded from a workload builder. A Program is immutable at
+ * run time; per-run method state (compilation tier, counters) lives in
+ * the Jvm so one Program can be executed under many configurations.
+ */
+
+#ifndef JAVELIN_JVM_PROGRAM_HH
+#define JAVELIN_JVM_PROGRAM_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "jvm/address.hh"
+#include "jvm/bytecode.hh"
+
+namespace javelin {
+namespace jvm {
+
+using ClassId = std::uint32_t;
+using MethodId = std::uint32_t;
+
+constexpr ClassId kNoClass = 0xffffffff;
+
+/** Size of an object header in bytes: classId, size, gcBits, aux. */
+constexpr std::uint32_t kHeaderBytes = 16;
+
+/** Size of every field/element slot in bytes. */
+constexpr std::uint32_t kSlotBytes = 8;
+
+/**
+ * One loaded (or loadable) class.
+ */
+struct ClassInfo
+{
+    ClassId id = 0;
+    std::string name;
+    /** Number of reference fields (laid out first after the header). */
+    std::uint32_t refFields = 0;
+    /** Number of scalar (64-bit) fields, after the reference fields. */
+    std::uint32_t scalarFields = 0;
+    bool isRefArray = false;
+    bool isScalarArray = false;
+    ClassId super = kNoClass;
+    /** Metadata bytes the class loader walks when loading this class. */
+    std::uint32_t metadataBytes = 1024;
+    /** Constant-pool entries resolved at load time. */
+    std::uint32_t constantPoolEntries = 24;
+    /** Classes eagerly resolved (and possibly loaded) with this one. */
+    std::vector<ClassId> referencedClasses;
+    /** Assigned by Program::layout(). */
+    Address metadataAddr = 0;
+
+    bool isArray() const { return isRefArray || isScalarArray; }
+
+    /** Heap bytes of one (non-array) instance, header included. */
+    std::uint32_t
+    instanceBytes() const
+    {
+        return kHeaderBytes + (refFields + scalarFields) * kSlotBytes;
+    }
+
+    /** Heap bytes of an array instance of the given length. */
+    static std::uint32_t
+    arrayBytes(std::uint32_t length)
+    {
+        return kHeaderBytes + length * kSlotBytes;
+    }
+};
+
+/**
+ * One method: code plus register-file shape.
+ *
+ * Arguments arrive in the low registers of each file: integer arguments
+ * in i[0..nIntArgs), reference arguments in r[0..nRefArgs).
+ */
+struct MethodInfo
+{
+    MethodId id = 0;
+    std::string name;
+    ClassId holder = kNoClass;
+    Code code;
+    std::uint16_t nIntRegs = 8;
+    std::uint16_t nRefRegs = 4;
+    std::uint16_t nIntArgs = 0;
+    std::uint16_t nRefArgs = 0;
+    /** Location of the bytecode in the metadata region (set by layout). */
+    Address bytecodeAddr = 0;
+};
+
+/**
+ * A complete program.
+ */
+struct Program
+{
+    std::string name = "program";
+    std::vector<ClassInfo> classes;
+    std::vector<MethodInfo> methods;
+    MethodId entry = 0;
+    /** Number of static reference slots (GC roots). */
+    std::uint32_t numStatics = 0;
+    /**
+     * The first bootClassCount classes are system/boot classes: merged
+     * into the VM image under Jikes, loaded lazily at startup by Kaffe.
+     */
+    std::uint32_t bootClassCount = 0;
+    /** Seed for the Rand opcode's deterministic stream. */
+    std::uint64_t randSeed = 42;
+
+    const ClassInfo &
+    classOf(ClassId id) const
+    {
+        return classes.at(id);
+    }
+    const MethodInfo &
+    methodOf(MethodId id) const
+    {
+        return methods.at(id);
+    }
+
+    /** Assign metadata/bytecode addresses. Must be called once. */
+    void layout();
+
+    /**
+     * Static verification: branch targets, register indices, call arity,
+     * class references. Returns a list of error strings (empty = valid).
+     */
+    std::vector<std::string> verify() const;
+
+    /** Total bytecode instruction count across all methods. */
+    std::size_t totalCodeSize() const;
+};
+
+} // namespace jvm
+} // namespace javelin
+
+#endif // JAVELIN_JVM_PROGRAM_HH

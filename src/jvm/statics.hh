@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Static reference slots: the program-visible global roots. Backed by
+ * host memory with simulated addresses in the statics region, so static
+ * accesses show up in the cache model and the slots are enumerable as
+ * GC roots.
+ */
+
+#ifndef JAVELIN_JVM_STATICS_HH
+#define JAVELIN_JVM_STATICS_HH
+
+#include <vector>
+
+#include "jvm/address.hh"
+#include "sim/system.hh"
+#include "util/logging.hh"
+
+namespace javelin {
+namespace jvm {
+
+/**
+ * The static (global) reference table.
+ */
+class Statics
+{
+  public:
+    Statics(sim::System &system, std::uint32_t count)
+        : system_(system), values_(count, kNull)
+    {
+    }
+
+    std::uint32_t
+    count() const
+    {
+        return static_cast<std::uint32_t>(values_.size());
+    }
+
+    Address
+    slotAddr(std::uint32_t i) const
+    {
+        return kStaticsBase + static_cast<Address>(i) * kSlotBytes;
+    }
+
+    /** Charged load. */
+    Address
+    load(std::uint32_t i)
+    {
+        JAVELIN_ASSERT(i < values_.size(), "static index out of range");
+        system_.cpu().load(slotAddr(i));
+        return values_[i];
+    }
+
+    /** Charged store. */
+    void
+    store(std::uint32_t i, Address v)
+    {
+        JAVELIN_ASSERT(i < values_.size(), "static index out of range");
+        system_.cpu().store(slotAddr(i));
+        values_[i] = v;
+    }
+
+    /** Host-side slot for GC root enumeration (no timing). */
+    Address &slotHost(std::uint32_t i) { return values_[i]; }
+
+  private:
+    sim::System &system_;
+    std::vector<Address> values_;
+};
+
+} // namespace jvm
+} // namespace javelin
+
+#endif // JAVELIN_JVM_STATICS_HH

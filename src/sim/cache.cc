@@ -1,0 +1,129 @@
+#include "sim/cache.hh"
+
+#include <bit>
+
+#include "util/logging.hh"
+
+namespace javelin {
+namespace sim {
+
+Cache::Cache(const Config &config)
+    : config_(config)
+{
+    JAVELIN_ASSERT(config_.lineBytes > 0 &&
+                   std::has_single_bit(config_.lineBytes),
+                   "cache line size must be a power of two");
+    JAVELIN_ASSERT(config_.assoc > 0, "cache associativity must be > 0");
+    JAVELIN_ASSERT(config_.sizeBytes %
+                   (static_cast<std::uint64_t>(config_.lineBytes) *
+                    config_.assoc) == 0,
+                   "cache size must be a multiple of assoc * line size");
+
+    numSets_ = static_cast<std::uint32_t>(
+        config_.sizeBytes /
+        (static_cast<std::uint64_t>(config_.lineBytes) * config_.assoc));
+    JAVELIN_ASSERT(numSets_ > 0 && std::has_single_bit(numSets_),
+                   "cache set count must be a power of two, got ",
+                   numSets_);
+    lineShift_ = static_cast<std::uint32_t>(
+        std::countr_zero(config_.lineBytes));
+    setMask_ = numSets_ - 1;
+    ways_.resize(static_cast<std::size_t>(numSets_) * config_.assoc);
+}
+
+Cache::Result
+Cache::access(Address addr, bool is_write)
+{
+    const Address line = lineNumber(addr);
+    const std::uint32_t set = setIndex(line);
+    Way *base = &ways_[static_cast<std::size_t>(set) * config_.assoc];
+    ++useClock_;
+
+    if (is_write)
+        ++stats_.writes;
+    else
+        ++stats_.reads;
+
+    Way *victim = base;
+    for (std::uint32_t w = 0; w < config_.assoc; ++w) {
+        Way &way = base[w];
+        if (way.valid && way.tag == line) {
+            way.lastUse = useClock_;
+            way.dirty = way.dirty || is_write;
+            const bool was_prefetched = way.prefetched;
+            way.prefetched = false;
+            return {true, false, was_prefetched};
+        }
+        if (!way.valid) {
+            victim = &way; // free way always preferred
+        } else if (victim->valid && way.lastUse < victim->lastUse) {
+            victim = &way;
+        }
+    }
+
+    // Miss: allocate into the victim (fetch-on-write policy for stores).
+    if (is_write)
+        ++stats_.writeMisses;
+    else
+        ++stats_.readMisses;
+
+    const bool writeback = victim->valid && victim->dirty;
+    if (writeback)
+        ++stats_.writebacks;
+    victim->valid = true;
+    victim->tag = line;
+    victim->lastUse = useClock_;
+    victim->dirty = is_write;
+    victim->prefetched = false;
+    return {false, writeback, false};
+}
+
+void
+Cache::insertPrefetch(Address addr)
+{
+    const Address line = lineNumber(addr);
+    const std::uint32_t set = setIndex(line);
+    Way *base = &ways_[static_cast<std::size_t>(set) * config_.assoc];
+    ++useClock_;
+
+    Way *victim = base;
+    for (std::uint32_t w = 0; w < config_.assoc; ++w) {
+        Way &way = base[w];
+        if (way.valid && way.tag == line)
+            return; // already resident
+        if (!way.valid)
+            victim = &way;
+        else if (victim->valid && way.lastUse < victim->lastUse)
+            victim = &way;
+    }
+    if (victim->valid && victim->dirty)
+        ++stats_.writebacks;
+    victim->valid = true;
+    victim->tag = line;
+    victim->lastUse = useClock_;
+    victim->dirty = false;
+    victim->prefetched = true;
+}
+
+bool
+Cache::contains(Address addr) const
+{
+    const Address line = lineNumber(addr);
+    const std::uint32_t set = setIndex(line);
+    const Way *base = &ways_[static_cast<std::size_t>(set) * config_.assoc];
+    for (std::uint32_t w = 0; w < config_.assoc; ++w)
+        if (base[w].valid && base[w].tag == line)
+            return true;
+    return false;
+}
+
+void
+Cache::flush()
+{
+    for (auto &way : ways_)
+        way = Way();
+    useClock_ = 0;
+}
+
+} // namespace sim
+} // namespace javelin

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Set-associative write-back cache model with true-LRU replacement.
+ *
+ * Models the cache geometries of the paper's two platforms: the Pentium M
+ * (32 KB 8-way L1I/L1D, 1 MB 8-way L2) and the PXA255 (32 KB 32-way
+ * L1I/L1D, no L2). Timing is handled by the enclosing MemoryHierarchy;
+ * this class only tracks hit/miss/victim state and statistics.
+ */
+
+#ifndef JAVELIN_SIM_CACHE_HH
+#define JAVELIN_SIM_CACHE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace javelin {
+namespace sim {
+
+/** Simulated physical address. */
+using Address = std::uint64_t;
+
+/**
+ * One cache level.
+ */
+class Cache
+{
+  public:
+    struct Config
+    {
+        std::string name = "cache";
+        std::uint64_t sizeBytes = 32 * 1024;
+        std::uint32_t assoc = 8;
+        std::uint32_t lineBytes = 64;
+    };
+
+    /** Outcome of a single cache access. */
+    struct Result
+    {
+        bool hit = false;
+        /** A dirty victim line was evicted and must be written back. */
+        bool writeback = false;
+        /** Hit on a line brought in by the prefetcher (possibly still
+         *  in flight — the hierarchy charges a catch-up penalty). */
+        bool prefetchedHit = false;
+    };
+
+    struct Stats
+    {
+        std::uint64_t reads = 0;
+        std::uint64_t writes = 0;
+        std::uint64_t readMisses = 0;
+        std::uint64_t writeMisses = 0;
+        std::uint64_t writebacks = 0;
+
+        std::uint64_t accesses() const { return reads + writes; }
+        std::uint64_t misses() const { return readMisses + writeMisses; }
+        double
+        missRate() const
+        {
+            const auto a = accesses();
+            return a ? static_cast<double>(misses()) /
+                       static_cast<double>(a)
+                     : 0.0;
+        }
+    };
+
+    explicit Cache(const Config &config);
+
+    /**
+     * Access one address. A miss allocates the line (fetch-on-write for
+     * stores) and evicts the LRU way, reporting a writeback if the victim
+     * was dirty.
+     */
+    Result access(Address addr, bool is_write);
+
+    /** Insert a line on behalf of the prefetcher (no recency claim on
+     *  the demand stream; the line is tagged as prefetched). */
+    void insertPrefetch(Address addr);
+
+    /** True if the line holding addr is currently resident. */
+    bool contains(Address addr) const;
+
+    /** Invalidate everything (e.g., between experiment runs). */
+    void flush();
+
+    const Config &config() const { return config_; }
+    const Stats &stats() const { return stats_; }
+    std::uint32_t numSets() const { return numSets_; }
+
+  private:
+    struct Way
+    {
+        Address tag = 0;
+        std::uint64_t lastUse = 0;
+        bool valid = false;
+        bool dirty = false;
+        bool prefetched = false;
+    };
+
+    Address lineNumber(Address addr) const { return addr >> lineShift_; }
+    std::uint32_t
+    setIndex(Address line) const
+    {
+        return static_cast<std::uint32_t>(line) & setMask_;
+    }
+
+    Config config_;
+    Stats stats_;
+    std::uint32_t numSets_;
+    std::uint32_t lineShift_;
+    std::uint32_t setMask_;
+    std::uint64_t useClock_ = 0;
+    std::vector<Way> ways_; // numSets_ * assoc, set-major
+};
+
+} // namespace sim
+} // namespace javelin
+
+#endif // JAVELIN_SIM_CACHE_HH

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Timing model of an in-order(-ish) processor core.
+ *
+ * The JVM execution layer drives this model with micro-op batches and
+ * explicit data accesses at simulated addresses. The model charges a base
+ * CPI per micro-op, adds stall cycles returned by the memory hierarchy
+ * (scaled by a memory-level-parallelism overlap factor on the out-of-order
+ * Pentium M, unscaled on the in-order PXA255), and advances simulated time
+ * accordingly. Emergency thermal throttling (50 % clock duty cycle, as in
+ * paper Fig. 1) and DVFS both act by stretching the effective clock
+ * period.
+ */
+
+#ifndef JAVELIN_SIM_CPU_MODEL_HH
+#define JAVELIN_SIM_CPU_MODEL_HH
+
+#include <string>
+
+#include "sim/memory_hierarchy.hh"
+#include "sim/perf_counters.hh"
+#include "util/units.hh"
+
+namespace javelin {
+namespace sim {
+
+/**
+ * Cycle-approximate CPU core.
+ */
+class CpuModel
+{
+  public:
+    struct Config
+    {
+        std::string name = "cpu";
+        /** Core clock in hertz. */
+        double freqHz = 1.6e9;
+        /** Cycles per micro-op with no stalls (1/peak-IPC). */
+        double baseCpi = 0.5;
+        /**
+         * Fraction of a memory stall penalty actually exposed. Out-of-order
+         * cores overlap part of the miss latency with useful work.
+         */
+        double memStallFactor = 1.0;
+        /** Extra cycles on a mispredicted branch. */
+        std::uint32_t branchPenalty = 10;
+        /**
+         * Stall cycles per micro-op of GC bookkeeping work. An
+         * out-of-order core cannot extract ILP from the collector's
+         * short dependent chains (low GC IPC, Section VI-C); an
+         * in-order core is equally serialized for mutator and GC, so
+         * the relative penalty vanishes (the PXA255's GC is its
+         * highest-IPC component, Section VI-E).
+         */
+        double gcStallPerUop = 0.55;
+    };
+
+    /**
+     * @param config core parameters
+     * @param memory cache hierarchy timing source
+     * @param counters shared HPM counter block (also fed by the hierarchy)
+     */
+    CpuModel(const Config &config, MemoryHierarchy &memory,
+             PerfCounters &counters);
+
+    /**
+     * Execute a straight-line batch of micro-ops whose code occupies
+     * [code_addr, code_addr + code_bytes). Instruction fetch goes through
+     * the I-cache one access per line touched.
+     */
+    void execute(std::uint32_t micro_ops, Address code_addr,
+                 std::uint32_t code_bytes);
+
+    /** Issue a data load at a simulated address. */
+    void load(Address addr);
+
+    /** Issue a data store at a simulated address. */
+    void store(Address addr);
+
+    /** Retire a branch micro-op. */
+    void branch(bool mispredict);
+
+    /** Burn cycles without retiring instructions (e.g., spin/idle). */
+    void stall(double cycles);
+
+    /** Advance simulated time with the core halted (clock-gated idle). */
+    void idleFor(Tick duration);
+
+    /** Current simulated time in ticks. */
+    Tick now() const { return static_cast<Tick>(tickAcc_); }
+
+    /** Free-running HPM counter block. */
+    const PerfCounters &counters() const { return counters_; }
+
+    /** Total retired micro-ops (convenience). */
+    std::uint64_t instructions() const { return counters_.instructions; }
+
+    /**
+     * Set the clock duty cycle (1.0 = full speed, 0.5 = emergency
+     * throttle). Stretching the effective period models the Pentium M
+     * thermal response of paper Fig. 1.
+     */
+    void setDutyCycle(double duty);
+    double dutyCycle() const { return duty_; }
+
+    /** Change the core frequency (DVFS). Takes effect immediately. */
+    void setFrequency(double freq_hz);
+    double frequency() const { return freqHz_; }
+
+    const Config &config() const { return config_; }
+
+  private:
+    void
+    advanceCycles(double cycles)
+    {
+        cycleAcc_ += cycles;
+        counters_.cycles = static_cast<std::uint64_t>(cycleAcc_);
+        tickAcc_ += cycles * periodEffTicks_;
+    }
+
+    void chargePenalty(std::uint32_t penalty_cycles);
+    void recomputePeriod();
+
+    Config config_;
+    MemoryHierarchy &memory_;
+    PerfCounters &counters_;
+    double freqHz_;
+    double duty_ = 1.0;
+    double periodEffTicks_ = 0.0;
+    double cycleAcc_ = 0.0;
+    double tickAcc_ = 0.0;
+};
+
+} // namespace sim
+} // namespace javelin
+
+#endif // JAVELIN_SIM_CPU_MODEL_HH

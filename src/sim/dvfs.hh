@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Dynamic voltage and frequency scaling support (paper Section VII lists
+ * DVFS as future work; javelin implements it as an extension exercised by
+ * bench/abl_dvfs).
+ */
+
+#ifndef JAVELIN_SIM_DVFS_HH
+#define JAVELIN_SIM_DVFS_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace javelin {
+namespace sim {
+
+class System;
+
+/** One frequency/voltage pair the core can run at. */
+struct OperatingPoint
+{
+    double freqHz;
+    double volts;
+};
+
+/**
+ * Policy wrapper around a platform's table of operating points.
+ */
+class DvfsController
+{
+  public:
+    DvfsController(System &system, std::vector<OperatingPoint> points);
+
+    /** Number of available operating points (highest performance last). */
+    std::size_t numPoints() const { return points_.size(); }
+    std::size_t currentIndex() const { return current_; }
+    const OperatingPoint &current() const { return points_[current_]; }
+    const OperatingPoint &point(std::size_t i) const { return points_.at(i); }
+
+    /** Select an operating point by index. */
+    void set(std::size_t index);
+
+    /** Step one point up (faster) or down (slower); saturates. */
+    void up();
+    void down();
+
+  private:
+    System &system_;
+    std::vector<OperatingPoint> points_;
+    std::size_t current_;
+};
+
+} // namespace sim
+} // namespace javelin
+
+#endif // JAVELIN_SIM_DVFS_HH

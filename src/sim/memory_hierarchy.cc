@@ -1,0 +1,97 @@
+#include "sim/memory_hierarchy.hh"
+
+namespace javelin {
+namespace sim {
+
+MemoryHierarchy::MemoryHierarchy(const Config &config,
+                                 PerfCounters &counters)
+    : config_(config), counters_(counters), l1i_(config.l1i),
+      l1d_(config.l1d)
+{
+    if (config_.l2)
+        l2_ = std::make_unique<Cache>(*config_.l2);
+}
+
+std::uint32_t
+MemoryHierarchy::lowerLevel(Address addr, bool is_write, bool victim_dirty)
+{
+    std::uint32_t penalty = 0;
+    if (victim_dirty)
+        penalty += config_.writebackCycles;
+
+    if (l2_) {
+        ++counters_.l2Accesses;
+        const auto r = l2_->access(addr, is_write);
+        if (r.hit) {
+            // A hit on a prefetched line may catch the fill in flight:
+            // streaming faster than DRAM can deliver still stalls.
+            if (r.prefetchedHit)
+                penalty += config_.dramCycles / 3;
+            return penalty + config_.l2HitCycles;
+        }
+        ++counters_.l2Misses;
+        if (r.writeback) {
+            ++counters_.dramWritebacks;
+            penalty += config_.writebackCycles;
+        }
+        ++counters_.dramAccesses;
+        return penalty + config_.dramCycles;
+    }
+
+    if (victim_dirty)
+        ++counters_.dramWritebacks;
+    ++counters_.dramAccesses;
+    return penalty + config_.dramCycles;
+}
+
+std::uint32_t
+MemoryHierarchy::fetch(Address addr)
+{
+    ++counters_.l1iAccesses;
+    const auto r = l1i_.access(addr, false);
+    if (r.hit)
+        return 0;
+    ++counters_.l1iMisses;
+    return lowerLevel(addr, false, r.writeback);
+}
+
+void
+MemoryHierarchy::prefetchNextLine(Address addr)
+{
+    if (!l2_)
+        return;
+    const Address next = addr + l2_->config().lineBytes;
+    // Bypass the demand counters: prefetch traffic costs DRAM energy
+    // but neither stalls the core nor perturbs the L2 miss rate the
+    // HPM samplers report.
+    if (!l2_->contains(next)) {
+        ++counters_.dramAccesses;
+        l2_->insertPrefetch(next);
+    }
+}
+
+std::uint32_t
+MemoryHierarchy::data(Address addr, bool is_write)
+{
+    ++counters_.l1dAccesses;
+    const auto r = l1d_.access(addr, is_write);
+    if (r.hit)
+        return 0;
+    ++counters_.l1dMisses;
+    const std::uint32_t penalty = lowerLevel(addr, is_write, r.writeback);
+    if (config_.nextLinePrefetch)
+        prefetchNextLine(addr);
+    return penalty;
+}
+
+void
+MemoryHierarchy::flush()
+{
+    l1i_.flush();
+    l1d_.flush();
+    if (l2_)
+        l2_->flush();
+}
+
+} // namespace sim
+} // namespace javelin

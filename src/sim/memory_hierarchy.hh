@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Two- or three-level memory hierarchy: L1I and L1D, an optional unified
+ * L2, and DRAM. Returns stall-cycle penalties for the CPU model and
+ * updates the HPM counter block with per-level access/miss events.
+ */
+
+#ifndef JAVELIN_SIM_MEMORY_HIERARCHY_HH
+#define JAVELIN_SIM_MEMORY_HIERARCHY_HH
+
+#include <memory>
+#include <optional>
+
+#include "sim/cache.hh"
+#include "sim/perf_counters.hh"
+
+namespace javelin {
+namespace sim {
+
+/**
+ * The cache/DRAM stack of one platform.
+ */
+class MemoryHierarchy
+{
+  public:
+    struct Config
+    {
+        Cache::Config l1i;
+        Cache::Config l1d;
+        /** Unset on platforms without an L2 (e.g., the PXA255). */
+        std::optional<Cache::Config> l2;
+        /** Extra stall cycles for an L1 miss that hits in L2. */
+        std::uint32_t l2HitCycles = 9;
+        /** Extra stall cycles for an access that goes to DRAM. */
+        std::uint32_t dramCycles = 180;
+        /** Extra stall cycles charged for a dirty-victim writeback. */
+        std::uint32_t writebackCycles = 4;
+        /**
+         * Hardware next-line prefetcher: on an L1D miss, the following
+         * line is pulled into L2 (no stall; DRAM traffic is counted).
+         * Present on the Pentium M, absent on the PXA255.
+         */
+        bool nextLinePrefetch = false;
+    };
+
+    MemoryHierarchy(const Config &config, PerfCounters &counters);
+
+    /** Instruction fetch of the line containing addr. Returns penalty. */
+    std::uint32_t fetch(Address addr);
+
+    /** Data access. Returns the stall-cycle penalty beyond an L1 hit. */
+    std::uint32_t data(Address addr, bool is_write);
+
+    /** Invalidate all levels. */
+    void flush();
+
+    bool hasL2() const { return l2_ != nullptr; }
+    const Cache &l1i() const { return l1i_; }
+    const Cache &l1d() const { return l1d_; }
+    const Cache &l2() const { return *l2_; }
+    const Config &config() const { return config_; }
+
+  private:
+    /** Send an L1 miss down to L2/DRAM; returns the penalty. */
+    std::uint32_t lowerLevel(Address addr, bool is_write, bool victim_dirty);
+
+    /** Pull the line after addr into L2 without stalling the core. */
+    void prefetchNextLine(Address addr);
+
+    Config config_;
+    PerfCounters &counters_;
+    Cache l1i_;
+    Cache l1d_;
+    std::unique_ptr<Cache> l2_;
+};
+
+} // namespace sim
+} // namespace javelin
+
+#endif // JAVELIN_SIM_MEMORY_HIERARCHY_HH

@@ -1,0 +1,40 @@
+#include "sim/memory_power.hh"
+
+#include "util/logging.hh"
+
+namespace javelin {
+namespace sim {
+
+MemoryPowerModel::MemoryPowerModel(const Config &config)
+    : config_(config)
+{
+    JAVELIN_ASSERT(config_.idleWatts >= 0, "negative idle power");
+}
+
+void
+MemoryPowerModel::update(const PerfCounters &counters, Tick now)
+{
+    JAVELIN_ASSERT(now >= lastTick_,
+                   "time went backwards in memory power model");
+    const double dt = ticksToSeconds(now - lastTick_);
+    const PerfCounters delta = counters - lastCounters_;
+    cumulativeJoules_ +=
+        config_.idleWatts * dt +
+        config_.epAccess * static_cast<double>(delta.dramAccesses +
+                                               delta.dramWritebacks);
+    lastCounters_ = counters;
+    lastTick_ = now;
+}
+
+double
+MemoryPowerModel::windowWatts(double ref_joules, Tick ref_tick,
+                              Tick now) const
+{
+    if (now <= ref_tick)
+        return config_.idleWatts;
+    const double dt = ticksToSeconds(now - ref_tick);
+    return (cumulativeJoules_ - ref_joules) / dt;
+}
+
+} // namespace sim
+} // namespace javelin

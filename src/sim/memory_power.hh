@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Main-memory (DRAM/SDRAM) power model.
+ *
+ * The paper measures RAM power with sense resistors on the memory supply
+ * line (Section IV-D): 250 mW idle on the P6 platform and about 5 mW on
+ * the DBPXA255. Active energy is charged per DRAM access and writeback.
+ * Uses the same lazy exact-integration discipline as PowerModel.
+ */
+
+#ifndef JAVELIN_SIM_MEMORY_POWER_HH
+#define JAVELIN_SIM_MEMORY_POWER_HH
+
+#include "sim/perf_counters.hh"
+#include "util/units.hh"
+
+namespace javelin {
+namespace sim {
+
+/**
+ * DRAM power/energy model.
+ */
+class MemoryPowerModel
+{
+  public:
+    struct Config
+    {
+        /** Idle (refresh + standby) power in watts. */
+        double idleWatts = 0.25;
+        /** Supply voltage at the sense point. */
+        double supplyVolts = 2.5;
+        /** Joules per DRAM data access (activate + read/write + IO). */
+        double epAccess = 20.0e-9;
+    };
+
+    explicit MemoryPowerModel(const Config &config);
+
+    /** Integrate energy up to (counters, now) at current settings. */
+    void update(const PerfCounters &counters, Tick now);
+
+    /** Total memory energy consumed up to the last update (joules). */
+    double cumulativeJoules() const { return cumulativeJoules_; }
+
+    /** Average power over a window since a reference point. */
+    double windowWatts(double ref_joules, Tick ref_tick, Tick now) const;
+
+    double railVolts() const { return config_.supplyVolts; }
+    const Config &config() const { return config_; }
+
+  private:
+    Config config_;
+    double cumulativeJoules_ = 0.0;
+    PerfCounters lastCounters_;
+    Tick lastTick_ = 0;
+};
+
+} // namespace sim
+} // namespace javelin
+
+#endif // JAVELIN_SIM_MEMORY_POWER_HH

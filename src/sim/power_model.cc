@@ -1,0 +1,77 @@
+#include "sim/power_model.hh"
+
+#include "util/logging.hh"
+
+namespace javelin {
+namespace sim {
+
+PowerModel::PowerModel(const Config &config)
+    : config_(config), volts_(config.nominalVolts),
+      freqHz_(config.nominalFreqHz)
+{
+    JAVELIN_ASSERT(config_.idleWatts >= 0, "negative idle power");
+    JAVELIN_ASSERT(config_.nominalVolts > 0, "bad nominal voltage");
+}
+
+double
+PowerModel::idleWatts() const
+{
+    // Idle power is dominated by the clock tree and leakage; scale it
+    // with f * V^2 like the dynamic part (a common first-order model).
+    const double vr = volts_ / config_.nominalVolts;
+    const double fr = freqHz_ / config_.nominalFreqHz;
+    return config_.idleWatts * vr * vr * (0.5 + 0.5 * fr);
+}
+
+double
+PowerModel::dynamicJoules(const PerfCounters &delta) const
+{
+    const double vr = volts_ / config_.nominalVolts;
+    const double scale = vr * vr;
+    const double e =
+        config_.epInstr * static_cast<double>(delta.instructions) +
+        config_.epL1d * static_cast<double>(delta.l1dAccesses) +
+        config_.epL1i * static_cast<double>(delta.l1iAccesses) +
+        config_.epL2 * static_cast<double>(delta.l2Accesses) +
+        config_.epDram * static_cast<double>(delta.dramAccesses +
+                                             delta.dramWritebacks) +
+        config_.epStallCycle * static_cast<double>(delta.stallCycles);
+    return e * scale;
+}
+
+void
+PowerModel::update(const PerfCounters &counters, Tick now)
+{
+    JAVELIN_ASSERT(now >= lastTick_, "time went backwards in power model");
+    const double dt = ticksToSeconds(now - lastTick_);
+    cumulativeJoules_ += idleWatts() * dt +
+                         dynamicJoules(counters - lastCounters_);
+    lastCounters_ = counters;
+    lastTick_ = now;
+}
+
+double
+PowerModel::windowWatts(double ref_joules, Tick ref_tick, Tick now) const
+{
+    if (now <= ref_tick)
+        return idleWatts();
+    const double dt = ticksToSeconds(now - ref_tick);
+    return (cumulativeJoules_ - ref_joules) / dt;
+}
+
+void
+PowerModel::setVoltage(double volts)
+{
+    JAVELIN_ASSERT(volts > 0, "bad voltage");
+    volts_ = volts;
+}
+
+void
+PowerModel::setFrequency(double freq_hz)
+{
+    JAVELIN_ASSERT(freq_hz > 0, "bad frequency");
+    freqHz_ = freq_hz;
+}
+
+} // namespace sim
+} // namespace javelin

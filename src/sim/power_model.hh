@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Activity-based processor power model.
+ *
+ * The paper observes (Section VI-C) that "power consumption is highly
+ * correlated with processor utilization": components with high IPC draw
+ * more power, while components that stall on off-chip accesses (like the
+ * garbage collector on the Pentium M) draw less. This model captures that
+ * directly: power is an idle floor plus per-event activation energies for
+ * retired micro-ops and cache/DRAM traffic. Voltage scaling (DVFS) scales
+ * the dynamic part quadratically and the idle part linearly with
+ * frequency times V^2.
+ *
+ * The model is integrated lazily: update() advances the cumulative energy
+ * using the *current* settings, so callers must call update() at every
+ * voltage/frequency change point (System does this) and before reading.
+ */
+
+#ifndef JAVELIN_SIM_POWER_MODEL_HH
+#define JAVELIN_SIM_POWER_MODEL_HH
+
+#include "sim/perf_counters.hh"
+#include "util/units.hh"
+
+namespace javelin {
+namespace sim {
+
+/**
+ * CPU power/energy model with lazy exact integration.
+ */
+class PowerModel
+{
+  public:
+    struct Config
+    {
+        /** Measured idle power of the platform's CPU rail (watts). */
+        double idleWatts = 4.5;
+        /** Nominal core voltage. */
+        double nominalVolts = 1.484;
+        /** Nominal core frequency (for idle-power frequency scaling). */
+        double nominalFreqHz = 1.6e9;
+        /** Joules per retired micro-op at nominal voltage. */
+        double epInstr = 4.0e-9;
+        /** Joules per L1D access. */
+        double epL1d = 0.6e-9;
+        /** Joules per L1I access. */
+        double epL1i = 0.4e-9;
+        /** Joules per L2 access. */
+        double epL2 = 4.0e-9;
+        /** Joules per DRAM access seen from the CPU (bus + controller). */
+        double epDram = 12.0e-9;
+        /**
+         * Joules per stall cycle: a stalled out-of-order core keeps its
+         * clock tree, speculation and queues burning well above idle.
+         */
+        double epStallCycle = 0.0;
+    };
+
+    explicit PowerModel(const Config &config);
+
+    /**
+     * Integrate energy from the last update point to (counters, now)
+     * using the current voltage/frequency settings.
+     */
+    void update(const PerfCounters &counters, Tick now);
+
+    /** Total CPU energy consumed up to the last update (joules). */
+    double cumulativeJoules() const { return cumulativeJoules_; }
+
+    /** Average power over the window since the given reference point. */
+    double windowWatts(double ref_joules, Tick ref_tick, Tick now) const;
+
+    /** Set operating voltage (DVFS); call update() first. */
+    void setVoltage(double volts);
+    double voltage() const { return volts_; }
+
+    /** Set operating frequency (affects idle power); update() first. */
+    void setFrequency(double freq_hz);
+
+    /** Instantaneous voltage at the sense point (for the DAQ channel). */
+    double railVolts() const { return volts_; }
+
+    const Config &config() const { return config_; }
+
+    /** Idle power at current settings (watts). */
+    double idleWatts() const;
+
+  private:
+    double dynamicJoules(const PerfCounters &delta) const;
+
+    Config config_;
+    double volts_;
+    double freqHz_;
+    double cumulativeJoules_ = 0.0;
+    PerfCounters lastCounters_;
+    Tick lastTick_ = 0;
+};
+
+} // namespace sim
+} // namespace javelin
+
+#endif // JAVELIN_SIM_POWER_MODEL_HH

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * The simulated system under test: one platform's CPU, memory hierarchy,
+ * power models and thermal package, plus a registry of periodic tasks
+ * (the DAQ sampler, the HPM sampler, the OS scheduler timer) that fire as
+ * simulated time advances.
+ *
+ * The execution layer (the JVM) calls poll() at bytecode boundaries; any
+ * task whose deadline has passed fires then, which mirrors the timer
+ * jitter a real OS-timer-driven sampler experiences.
+ */
+
+#ifndef JAVELIN_SIM_SYSTEM_HH
+#define JAVELIN_SIM_SYSTEM_HH
+
+#include <functional>
+#include <limits>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/cpu_model.hh"
+#include "sim/dvfs.hh"
+#include "sim/memory_hierarchy.hh"
+#include "sim/memory_power.hh"
+#include "sim/platform.hh"
+#include "sim/power_model.hh"
+#include "sim/thermal.hh"
+
+namespace javelin {
+namespace sim {
+
+/**
+ * A fully-assembled simulated platform instance.
+ */
+class System
+{
+  public:
+    using TaskFn = std::function<void(Tick)>;
+
+    explicit System(const PlatformSpec &spec);
+
+    CpuModel &cpu() { return cpu_; }
+    const CpuModel &cpu() const { return cpu_; }
+    MemoryHierarchy &memory() { return memory_; }
+    PowerModel &power() { return power_; }
+    const PowerModel &power() const { return power_; }
+    MemoryPowerModel &memoryPower() { return memPower_; }
+    const MemoryPowerModel &memoryPower() const { return memPower_; }
+    ThermalModel &thermal() { return thermal_; }
+    const ThermalModel &thermal() const { return thermal_; }
+    DvfsController &dvfs() { return dvfs_; }
+    const PlatformSpec &spec() const { return spec_; }
+    const PerfCounters &counters() const { return counters_; }
+
+    /**
+     * Register a periodic task. The first firing happens one period from
+     * the current time (plus optional phase offset).
+     */
+    void addPeriodicTask(const std::string &name, Tick period, TaskFn fn,
+                         Tick phase = 0);
+
+    /** Fire every task whose deadline has passed. Cheap when none is due. */
+    void
+    poll()
+    {
+        if (cpu_.now() >= nextDue_)
+            runDueTasks();
+    }
+
+    /** Bring both power models up to the current instant. */
+    void syncPower();
+
+    /** CPU energy consumed so far (after an implicit syncPower). */
+    double cpuJoules();
+
+    /** Memory energy consumed so far (after an implicit syncPower). */
+    double memoryJoules();
+
+    /** Switch DVFS operating point, keeping energy integration exact. */
+    void applyOperatingPoint(const OperatingPoint &point);
+
+    /**
+     * Let simulated time advance while the CPU idles, still firing
+     * periodic tasks (used for idle/thermal experiments).
+     */
+    void idleFor(Tick duration);
+
+  private:
+    friend class DvfsController;
+
+    struct TaskEntry
+    {
+        std::string name;
+        Tick period;
+        Tick next;
+        TaskFn fn;
+    };
+
+    void runDueTasks();
+    void recomputeNextDue();
+    void thermalStep(Tick now);
+
+    PlatformSpec spec_;
+    PerfCounters counters_;
+    MemoryHierarchy memory_;
+    CpuModel cpu_;
+    PowerModel power_;
+    MemoryPowerModel memPower_;
+    ThermalModel thermal_;
+    DvfsController dvfs_;
+
+    std::vector<TaskEntry> tasks_;
+    Tick nextDue_ = std::numeric_limits<Tick>::max();
+
+    // Thermal integration window state.
+    double thermalRefJoules_ = 0.0;
+    Tick thermalRefTick_ = 0;
+};
+
+} // namespace sim
+} // namespace javelin
+
+#endif // JAVELIN_SIM_SYSTEM_HH

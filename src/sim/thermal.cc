@@ -1,0 +1,53 @@
+#include "sim/thermal.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace javelin {
+namespace sim {
+
+ThermalModel::ThermalModel(const Config &config)
+    : config_(config), tempC_(config.ambientC), maxTempC_(config.ambientC)
+{
+    JAVELIN_ASSERT(config_.capacitanceJperC > 0, "bad thermal capacitance");
+    JAVELIN_ASSERT(config_.throttleOffC < config_.throttleOnC,
+                   "throttle hysteresis is inverted");
+}
+
+double
+ThermalModel::steadyStateC(double watts) const
+{
+    const double r = fanEnabled_ ? config_.rFanOnCperW
+                                 : config_.rFanOffCperW;
+    return config_.ambientC + watts * r;
+}
+
+bool
+ThermalModel::step(double watts, double dt_seconds)
+{
+    JAVELIN_ASSERT(dt_seconds >= 0, "negative thermal step");
+    const double r = fanEnabled_ ? config_.rFanOnCperW
+                                 : config_.rFanOffCperW;
+
+    // Exact solution of the linear ODE over the step, which keeps the
+    // model stable for arbitrarily large dt.
+    const double tau = r * config_.capacitanceJperC;
+    const double target = config_.ambientC + watts * r;
+    const double decay = std::exp(-dt_seconds / tau);
+    tempC_ = target + (tempC_ - target) * decay;
+    maxTempC_ = std::max(maxTempC_, tempC_);
+    if (throttled_)
+        throttledSeconds_ += dt_seconds;
+
+    const bool was = throttled_;
+    if (!throttled_ && tempC_ >= config_.throttleOnC)
+        throttled_ = true;
+    else if (throttled_ && tempC_ <= config_.throttleOffC)
+        throttled_ = false;
+    return throttled_ != was;
+}
+
+} // namespace sim
+} // namespace javelin

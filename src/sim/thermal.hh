@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Lumped-RC package thermal model with emergency throttling.
+ *
+ * Reproduces the behaviour of paper Fig. 1: with the fan enabled the
+ * Pentium M settles near 60 C under load; with the fan disabled the
+ * temperature climbs to 99 C in about four minutes, at which point the
+ * processor's emergency response reduces the clock duty cycle to 50 %,
+ * proportionally reducing performance (and power), and the temperature
+ * saw-tooths around the trip point.
+ */
+
+#ifndef JAVELIN_SIM_THERMAL_HH
+#define JAVELIN_SIM_THERMAL_HH
+
+#include "util/units.hh"
+
+namespace javelin {
+namespace sim {
+
+/**
+ * Single-node RC thermal model: C dT/dt = P - (T - T_amb) / R.
+ */
+class ThermalModel
+{
+  public:
+    struct Config
+    {
+        double ambientC = 25.0;
+        /** Junction-to-ambient thermal resistance with the fan on (C/W). */
+        double rFanOnCperW = 2.8;
+        /** Thermal resistance with the fan disabled. */
+        double rFanOffCperW = 8.0;
+        /** Lumped thermal capacitance (J/C). */
+        double capacitanceJperC = 22.0;
+        /** Emergency throttle engage temperature. */
+        double throttleOnC = 99.0;
+        /** Temperature at which full speed resumes. */
+        double throttleOffC = 97.0;
+        /** Duty cycle applied while throttled. */
+        double throttleDuty = 0.5;
+    };
+
+    explicit ThermalModel(const Config &config);
+
+    /**
+     * Advance the thermal state by dt seconds with the given average
+     * power. Returns true if the throttle state changed.
+     */
+    bool step(double watts, double dt_seconds);
+
+    double temperatureC() const { return tempC_; }
+    bool throttled() const { return throttled_; }
+    bool fanEnabled() const { return fanEnabled_; }
+    void setFanEnabled(bool enabled) { fanEnabled_ = enabled; }
+
+    /** Duty cycle the CPU should run at right now. */
+    double
+    requestedDuty() const
+    {
+        return throttled_ ? config_.throttleDuty : 1.0;
+    }
+
+    /** Steady-state temperature at a constant power level. */
+    double steadyStateC(double watts) const;
+
+    double maxTemperatureC() const { return maxTempC_; }
+    double throttledSeconds() const { return throttledSeconds_; }
+
+    const Config &config() const { return config_; }
+
+  private:
+    Config config_;
+    double tempC_;
+    double maxTempC_;
+    bool fanEnabled_ = true;
+    bool throttled_ = false;
+    double throttledSeconds_ = 0.0;
+};
+
+} // namespace sim
+} // namespace javelin
+
+#endif // JAVELIN_SIM_THERMAL_HH

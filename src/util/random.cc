@@ -1,0 +1,158 @@
+#include "util/random.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace javelin {
+
+namespace {
+
+std::uint64_t
+splitMix64(std::uint64_t &state)
+{
+    state += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = state;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(std::uint64_t seed)
+{
+    std::uint64_t sm = seed;
+    for (auto &word : s_)
+        word = splitMix64(sm);
+}
+
+std::uint64_t
+Rng::next()
+{
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+}
+
+double
+Rng::uniform()
+{
+    // 53 random mantissa bits scaled into [0, 1).
+    return (next() >> 11) * 0x1.0p-53;
+}
+
+std::uint64_t
+Rng::uniformInt(std::uint64_t bound)
+{
+    JAVELIN_ASSERT(bound > 0, "uniformInt bound must be positive");
+    // Rejection sampling to remove modulo bias.
+    const std::uint64_t threshold = -bound % bound;
+    for (;;) {
+        std::uint64_t r = next();
+        if (r >= threshold)
+            return r % bound;
+    }
+}
+
+std::int64_t
+Rng::uniformRange(std::int64_t lo, std::int64_t hi)
+{
+    JAVELIN_ASSERT(lo <= hi, "uniformRange requires lo <= hi");
+    return lo + static_cast<std::int64_t>(
+        uniformInt(static_cast<std::uint64_t>(hi - lo) + 1));
+}
+
+bool
+Rng::bernoulli(double p)
+{
+    if (p <= 0.0)
+        return false;
+    if (p >= 1.0)
+        return true;
+    return uniform() < p;
+}
+
+double
+Rng::exponential(double mean)
+{
+    double u;
+    do {
+        u = uniform();
+    } while (u <= 0.0);
+    return -mean * std::log(u);
+}
+
+double
+Rng::normal(double mean, double stddev)
+{
+    if (hasSpareNormal_) {
+        hasSpareNormal_ = false;
+        return mean + stddev * spareNormal_;
+    }
+    double u1, u2;
+    do {
+        u1 = uniform();
+    } while (u1 <= 0.0);
+    u2 = uniform();
+    const double mag = std::sqrt(-2.0 * std::log(u1));
+    spareNormal_ = mag * std::sin(2.0 * M_PI * u2);
+    hasSpareNormal_ = true;
+    return mean + stddev * mag * std::cos(2.0 * M_PI * u2);
+}
+
+std::uint64_t
+Rng::sizeDraw(double mean, double sigma, std::uint64_t min_value,
+              std::uint64_t max_value)
+{
+    JAVELIN_ASSERT(min_value <= max_value, "sizeDraw bounds inverted");
+    // Log-normal with the requested arithmetic mean: if X ~ LogN(mu, s)
+    // then E[X] = exp(mu + s^2/2), so mu = ln(mean) - s^2/2.
+    const double s = std::max(sigma, 1e-9);
+    const double mu = std::log(std::max(mean, 1.0)) - 0.5 * s * s;
+    const double x = std::exp(normal(mu, s));
+    const auto v = static_cast<std::uint64_t>(std::llround(x));
+    return std::clamp(v, min_value, max_value);
+}
+
+std::uint64_t
+Rng::zipf(std::uint64_t n, double s)
+{
+    JAVELIN_ASSERT(n > 0, "zipf needs a positive universe");
+    if (n == 1)
+        return 0;
+    // Rejection-inversion (Jain/Gross approach) works for all n without
+    // precomputing the harmonic sum table.
+    double exponent = s;
+    if (std::abs(exponent - 1.0) < 1e-9)
+        exponent = 1.0 + 1e-6; // avoid the harmonic singularity
+    for (;;) {
+        const double u = uniform();
+        const double t = std::pow(static_cast<double>(n), 1.0 - exponent);
+        const double x = std::pow(u * (t - 1.0) + 1.0, 1.0 / (1.0 - exponent));
+        const auto k = static_cast<std::uint64_t>(x);
+        if (k < n)
+            return k;
+    }
+}
+
+Rng
+Rng::fork()
+{
+    return Rng(next());
+}
+
+} // namespace javelin

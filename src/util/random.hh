@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation and distributions.
+ *
+ * All stochastic behaviour in javelin flows through Rng so that every
+ * experiment is exactly reproducible from its seed. The generator is
+ * xoshiro256** seeded through SplitMix64, which gives independent,
+ * high-quality streams from small integer seeds.
+ */
+
+#ifndef JAVELIN_UTIL_RANDOM_HH
+#define JAVELIN_UTIL_RANDOM_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace javelin {
+
+/**
+ * Deterministic random number generator with common distributions.
+ */
+class Rng
+{
+  public:
+    /** Construct from a small seed; any value (including 0) is valid. */
+    explicit Rng(std::uint64_t seed = 1);
+
+    /** Next raw 64-bit value. */
+    std::uint64_t next();
+
+    /** Uniform double in [0, 1). */
+    double uniform();
+
+    /** Uniform integer in [0, bound). bound must be > 0. */
+    std::uint64_t uniformInt(std::uint64_t bound);
+
+    /** Uniform integer in [lo, hi] inclusive. Requires lo <= hi. */
+    std::int64_t uniformRange(std::int64_t lo, std::int64_t hi);
+
+    /** Bernoulli trial: true with probability p. */
+    bool bernoulli(double p);
+
+    /** Exponentially distributed value with the given mean. */
+    double exponential(double mean);
+
+    /** Normally distributed value (Box-Muller). */
+    double normal(double mean, double stddev);
+
+    /**
+     * Log-normal-ish positive size draw: mean-preserving, clamped to
+     * [min_value, max_value]. Used for object and method size draws.
+     */
+    std::uint64_t sizeDraw(double mean, double sigma,
+                           std::uint64_t min_value, std::uint64_t max_value);
+
+    /**
+     * Zipf-distributed rank in [0, n). s is the skew parameter; larger s
+     * concentrates mass on small ranks. Uses a precomputed CDF for small n
+     * and rejection sampling otherwise.
+     */
+    std::uint64_t zipf(std::uint64_t n, double s);
+
+    /** Fisher-Yates shuffle of a vector. */
+    template <typename T>
+    void
+    shuffle(std::vector<T> &v)
+    {
+        for (std::size_t i = v.size(); i > 1; --i) {
+            std::size_t j = uniformInt(i);
+            std::swap(v[i - 1], v[j]);
+        }
+    }
+
+    /** Fork an independent stream (e.g., one per simulated thread). */
+    Rng fork();
+
+  private:
+    std::uint64_t s_[4];
+    bool hasSpareNormal_ = false;
+    double spareNormal_ = 0.0;
+};
+
+} // namespace javelin
+
+#endif // JAVELIN_UTIL_RANDOM_HH

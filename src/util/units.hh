@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Unit conventions used throughout javelin.
+ *
+ * Simulated time is kept as an integer count of picoseconds (Tick), as in
+ * gem5, so clock periods of both platforms (625 ps at 1.6 GHz, 2500 ps at
+ * 400 MHz) are exact. Power is watts, energy joules, both as doubles.
+ */
+
+#ifndef JAVELIN_UTIL_UNITS_HH
+#define JAVELIN_UTIL_UNITS_HH
+
+#include <cstdint>
+
+namespace javelin {
+
+/** Simulated time in picoseconds. */
+using Tick = std::uint64_t;
+
+/** Ticks per second (picosecond resolution). */
+constexpr Tick kTicksPerSecond = 1'000'000'000'000ULL;
+
+constexpr Tick kTicksPerMilli = kTicksPerSecond / 1'000;
+constexpr Tick kTicksPerMicro = kTicksPerSecond / 1'000'000;
+
+/** Convert ticks to seconds. */
+constexpr double
+ticksToSeconds(Tick t)
+{
+    return static_cast<double>(t) / static_cast<double>(kTicksPerSecond);
+}
+
+/** Convert seconds to ticks (rounds down). */
+constexpr Tick
+secondsToTicks(double s)
+{
+    return static_cast<Tick>(s * static_cast<double>(kTicksPerSecond));
+}
+
+/** Clock period in ticks for a frequency in hertz. */
+constexpr Tick
+periodForFreq(double hz)
+{
+    return static_cast<Tick>(static_cast<double>(kTicksPerSecond) / hz);
+}
+
+constexpr std::uint64_t kKiB = 1024;
+constexpr std::uint64_t kMiB = 1024 * kKiB;
+
+} // namespace javelin
+
+#endif // JAVELIN_UTIL_UNITS_HH

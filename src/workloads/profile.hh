@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Benchmark profiles: the knobs that shape one synthetic workload.
+ *
+ * Each paper benchmark (SpecJVM98, DaCapo, Java Grande) is represented
+ * by a profile giving its allocation volume, live-set size, object-size
+ * mix, lifetime distribution, compute intensity and class/method
+ * population. Volumes are expressed at the paper's own scale (megabytes
+ * on the real machines); the program builder applies the global study
+ * scale (see DESIGN.md section 2) when emitting bytecode.
+ */
+
+#ifndef JAVELIN_WORKLOADS_PROFILE_HH
+#define JAVELIN_WORKLOADS_PROFILE_HH
+
+#include <cstdint>
+#include <string>
+
+namespace javelin {
+namespace workloads {
+
+/** Input-size selector (SpecJVM98 -s100 vs -s10, etc.). */
+enum class DatasetScale
+{
+    Full,  ///< s100 / default DaCapo / JGF size A
+    Small, ///< s10 (used for the PXA255 study, Section VI-E)
+};
+
+/**
+ * Parameters describing one benchmark at paper scale.
+ */
+struct BenchmarkProfile
+{
+    std::string name;
+    std::string suite;
+
+    /** Total bytes allocated over the run (paper-scale MB). */
+    double allocMB = 100.0;
+    /** Steady-state live set (paper-scale MB). */
+    double liveMB = 6.0;
+
+    /** Mean non-array object size in bytes (header included). */
+    std::uint32_t meanObjBytes = 64;
+    /** Fraction of allocated bytes that are scalar arrays. */
+    double arrayFraction = 0.15;
+    /** Mean scalar-array length (elements). */
+    std::uint32_t meanArrayLen = 128;
+
+    /** Of non-array objects: fraction that die young (short buffer). */
+    double shortFraction = 0.70;
+    /** Fraction allocated into the linked structure (drops en masse). */
+    double linkedFraction = 0.10;
+    /** Linked list dropped every this many iterations. */
+    std::uint32_t listResetIters = 8;
+
+    /** ALU work per iteration, in thousands of operations. */
+    std::uint32_t computePerIterK = 8;
+    /** Fraction of ALU work that is floating point. */
+    double fpFraction = 0.2;
+    /** Compute working set in KiB (absolute; cache-relative). */
+    std::uint32_t scratchKB = 64;
+    /** Long-structure traversal reads per iteration, in thousands. */
+    std::uint32_t traversePerIterK = 1;
+
+    /** Application classes (allocation sites spread across them). */
+    std::uint32_t appClasses = 24;
+    /** Boot/system classes (free on Jikes, lazy-loaded on Kaffe). */
+    std::uint32_t bootClasses = 160;
+    /** Cold methods reached through the dispatch tree. */
+    std::uint32_t coldMethods = 96;
+    /** Cold calls per iteration. */
+    std::uint32_t coldCallsPerIter = 2;
+    /** Metadata walked per class load (bytes). */
+    std::uint32_t classMetadataBytes = 1400;
+    /** Constant-pool entries per class. */
+    std::uint32_t cpEntries = 28;
+
+    /** Native-kernel micro-ops per iteration (I/O, libc work). */
+    std::uint32_t nativeUopsPerIter = 400;
+    /** Native-kernel bytes streamed per iteration. */
+    std::uint32_t nativeBytesPerIter = 512;
+
+    std::uint64_t seed = 1;
+};
+
+/**
+ * Global scaling applied when turning a profile into a program.
+ */
+struct StudyScale
+{
+    /** Multiplier on allocation volume and live set (see DESIGN.md). */
+    double volume = 1.0 / 16.0;
+    /** Additional dataset multiplier (s10 shrinks work and data). */
+    double dataset = 1.0;
+
+    double
+    effectiveVolume() const
+    {
+        return volume * dataset;
+    }
+};
+
+/** StudyScale for a dataset selector at the repo's standard scale. */
+StudyScale studyScaleFor(DatasetScale dataset);
+
+} // namespace workloads
+} // namespace javelin
+
+#endif // JAVELIN_WORKLOADS_PROFILE_HH

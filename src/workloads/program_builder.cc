@@ -1,0 +1,869 @@
+#include "workloads/program_builder.hh"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+#include "jvm/method_builder.hh"
+#include "util/logging.hh"
+#include "util/random.hh"
+#include "util/units.hh"
+
+namespace javelin {
+namespace workloads {
+
+using jvm::ClassId;
+using jvm::ClassInfo;
+using jvm::MethodBuilder;
+using jvm::MethodId;
+using jvm::Op;
+using jvm::Program;
+
+namespace {
+
+/** Static slot assignments. */
+enum StaticSlot : std::int32_t
+{
+    kLongRoot = 0,   ///< ref-array of long-lived segments
+    kShortBuf = 1,   ///< ring buffer of short-lived objects
+    kScratchRoot = 2,///< ref-array of scalar scratch segments
+    kListHead = 3,   ///< head of the linked structure
+    kArrayBuf = 4,   ///< ring buffer of transient scalar arrays
+    kCounters = 5,   ///< cursor/counter object
+    kNumStatics = 8,
+};
+
+/** Field indices on the counter object (scalar fields). */
+enum CounterField : std::int32_t
+{
+    kCtrTraverseSeg = 0,
+    kCtrTraverseSlot = 1,
+    kCtrShortIdx = 2,
+    kCtrArrayIdx = 3,
+    kCtrComputePos = 4,
+};
+
+/**
+ * All derived sizing for one build.
+ */
+struct Plan
+{
+    // class ids
+    ClassId firstApp, firstCold, refArrayCls, scalarArrayCls, counterCls;
+    std::uint32_t appClasses, coldClasses;
+
+    std::uint32_t segmentSlots = 512;
+    std::uint32_t longSegments = 0;
+    std::uint32_t longEntries = 0;
+    std::uint32_t scratchSegments = 0;
+    std::uint32_t scratchSlots = 512;
+    std::uint32_t shortEntries = 768;
+    std::uint32_t arrayRing = 12;
+
+    std::uint32_t iterations = 0;
+    std::uint32_t shortPerIter = 0;
+    std::uint32_t longPerIter = 0;
+    std::uint32_t linkedPerIter = 0;
+    std::uint32_t arraysPerIter = 0;
+    std::uint32_t arrayLen = 128;
+    std::uint32_t computeElemsPerIter = 0;
+    std::uint32_t traversePerIter = 0;
+
+    std::uint64_t liveBytes = 0;
+    std::uint64_t allocBytes = 0;
+
+    /** Classes used for the long-lived population (prefill+replace). */
+    std::array<ClassId, 4> longClasses{};
+};
+
+Plan
+makePlan(const BenchmarkProfile &p, const StudyScale &scale)
+{
+    Plan plan;
+    const double v = scale.effectiveVolume();
+
+    plan.appClasses = std::max<std::uint32_t>(4, p.appClasses);
+    plan.coldClasses = std::max<std::uint32_t>(1, p.coldMethods);
+
+    plan.liveBytes = static_cast<std::uint64_t>(p.liveMB * kMiB * v);
+    plan.allocBytes = static_cast<std::uint64_t>(p.allocMB * kMiB * v);
+    plan.allocBytes = std::max(plan.allocBytes, plan.liveBytes * 5 / 4);
+
+    // Long-lived population, segmented so every object fits a
+    // mark-sweep cell. Reserve ~15% of the live budget for segment
+    // spines, scratch and the counter object.
+    const std::uint64_t population = plan.liveBytes * 85 / 100;
+    plan.longEntries = static_cast<std::uint32_t>(std::max<std::uint64_t>(
+        plan.segmentSlots, population / p.meanObjBytes));
+    plan.longSegments =
+        (plan.longEntries + plan.segmentSlots - 1) / plan.segmentSlots;
+    plan.longEntries = plan.longSegments * plan.segmentSlots;
+
+    plan.scratchSegments = std::max<std::uint32_t>(
+        1, p.scratchKB * 1024 / (plan.scratchSlots * 8));
+
+    // Steady-state allocation happens over the iterations.
+    const std::uint64_t steady =
+        plan.allocBytes > plan.liveBytes
+            ? plan.allocBytes - plan.liveBytes
+            : plan.allocBytes / 5;
+    plan.iterations = static_cast<std::uint32_t>(std::clamp<std::uint64_t>(
+        steady / (24 * 1024), 48, 4000));
+
+    const double perIter =
+        static_cast<double>(steady) / plan.iterations;
+    const double arrayBytes = perIter * p.arrayFraction;
+    plan.arrayLen = std::clamp<std::uint32_t>(p.meanArrayLen, 16, 1792);
+    const double bytesPerArray = plan.arrayLen * 8.0 + 16.0;
+    plan.arraysPerIter = static_cast<std::uint32_t>(
+        std::max(p.arrayFraction > 0 ? 1.0 : 0.0,
+                 arrayBytes / bytesPerArray));
+    plan.arrayRing = std::max<std::uint32_t>(4, plan.arraysPerIter * 6);
+
+    const double objBytes = perIter - plan.arraysPerIter * bytesPerArray;
+    const std::uint32_t objsPerIter = static_cast<std::uint32_t>(
+        std::max(4.0, objBytes / p.meanObjBytes));
+    plan.shortPerIter = static_cast<std::uint32_t>(
+        objsPerIter * p.shortFraction);
+    plan.linkedPerIter = static_cast<std::uint32_t>(
+        objsPerIter * p.linkedFraction);
+    std::uint32_t rest = objsPerIter - plan.shortPerIter -
+                         plan.linkedPerIter;
+    // Keep genuine long-lived replacement to a realistic sliver of the
+    // allocation stream (real nursery survival is 5-15% by bytes); the
+    // rest of the remainder dies young with the shorts.
+    plan.longPerIter = std::max<std::uint32_t>(1, rest * 2 / 5);
+    plan.shortPerIter += rest - plan.longPerIter;
+
+    // Compute and traversal intensity (profile gives thousands per
+    // iteration; roughly three ALU ops are charged per element).
+    plan.computeElemsPerIter =
+        std::max<std::uint32_t>(16, p.computePerIterK * 1000 / 3);
+    plan.traversePerIter =
+        std::max<std::uint32_t>(0, p.traversePerIterK * 1000);
+    return plan;
+}
+
+/**
+ * Emits the whole program.
+ */
+class Builder
+{
+  public:
+    Builder(const BenchmarkProfile &p, const StudyScale &scale)
+        : p_(p), plan_(makePlan(p, scale)), rng_(p.seed)
+    {
+    }
+
+    Program
+    build(BuildInfo *info)
+    {
+        program_.name = p_.name;
+        program_.numStatics = kNumStatics;
+        program_.randSeed = p_.seed * 2654435761u + 1;
+        program_.bootClassCount = p_.bootClasses;
+
+        buildClasses();
+        buildMethods();
+        program_.layout();
+
+        if (info) {
+            info->plannedAllocBytes = plan_.allocBytes;
+            info->liveBytes = plan_.liveBytes;
+            info->iterations = plan_.iterations;
+            info->longEntries = plan_.longEntries;
+            info->segmentSlots = plan_.segmentSlots;
+        }
+        return std::move(program_);
+    }
+
+  private:
+    void buildClasses();
+    void buildMethods();
+
+    MethodId emitCold(std::uint32_t k);
+    MethodId emitDispatch(std::uint32_t lo, std::uint32_t hi);
+    MethodId emitAllocShort();
+    MethodId emitAllocLong();
+    MethodId emitAllocLinked();
+    MethodId emitAllocArrays();
+    MethodId emitCompute();
+    MethodId emitTraverse();
+    MethodId emitInit();
+    MethodId emitIteration();
+    void emitMain();
+
+    /** App class used by the i-th allocation site. */
+    ClassId
+    appClass(std::uint32_t i) const
+    {
+        return plan_.firstApp + (i % plan_.appClasses);
+    }
+
+    const BenchmarkProfile &p_;
+    Plan plan_;
+    Rng rng_;
+    Program program_;
+
+    MethodId mAllocShort_ = 0, mAllocLong_ = 0, mAllocLinked_ = 0;
+    MethodId mAllocArrays_ = 0, mCompute_ = 0, mTraverse_ = 0;
+    MethodId mInit_ = 0, mIteration_ = 0, mDispatchRoot_ = 0;
+    std::vector<MethodId> coldMethods_;
+};
+
+void
+Builder::buildClasses()
+{
+    auto &classes = program_.classes;
+    const auto addClass = [&](const std::string &name,
+                              std::uint32_t ref_fields,
+                              std::uint32_t scalar_fields,
+                              std::uint32_t metadata,
+                              std::uint32_t cp) {
+        ClassInfo c;
+        c.id = static_cast<ClassId>(classes.size());
+        c.name = name;
+        c.refFields = ref_fields;
+        c.scalarFields = scalar_fields;
+        c.metadataBytes = std::max<std::uint32_t>(128, metadata);
+        c.constantPoolEntries = cp;
+        classes.push_back(c);
+        return c.id;
+    };
+
+    // Boot classes: reference chains model the startup cascade.
+    for (std::uint32_t i = 0; i < p_.bootClasses; ++i) {
+        const ClassId id = addClass("Boot" + std::to_string(i), 0, 2,
+                                    p_.classMetadataBytes, p_.cpEntries);
+        if (i > 0)
+            classes[id].super = id - 1 - rng_.uniformInt(std::min<
+                std::uint64_t>(i, 3));
+        if (i + 1 < p_.bootClasses)
+            classes[id].referencedClasses.push_back(id + 1);
+        if (i + 7 < p_.bootClasses)
+            classes[id].referencedClasses.push_back(id + 7);
+    }
+
+    // Application (node) classes: sizes spread around the mean.
+    plan_.firstApp = static_cast<ClassId>(classes.size());
+    for (std::uint32_t i = 0; i < plan_.appClasses; ++i) {
+        const double factor = 0.5 + 1.5 * (i % 7) / 6.0;
+        const auto target = static_cast<std::uint32_t>(
+            p_.meanObjBytes * factor);
+        const std::uint32_t refs = 2; // next + interlink slot
+        const std::uint32_t scalars = std::max<std::uint32_t>(
+            1, (target > jvm::kHeaderBytes + refs * 8)
+                   ? (target - jvm::kHeaderBytes) / 8 - refs
+                   : 1);
+        const ClassId id =
+            addClass("Node" + std::to_string(i), refs, scalars,
+                     p_.classMetadataBytes, p_.cpEntries);
+        if (i > 0 && rng_.bernoulli(0.5))
+            classes[id].referencedClasses.push_back(id - 1);
+    }
+
+    // The long-lived population rotates over four fixed classes; its
+    // entry count must be derived from their *actual* instance sizes,
+    // or replacement drifts the live set away from the plan (the
+    // profile mean is only a target for the size spread).
+    std::uint64_t longBytesPerObj = 0;
+    for (std::uint32_t site = 0; site < 4; ++site) {
+        const ClassId id = appClass(site * 7 + plan_.appClasses / 2);
+        plan_.longClasses[site] = id;
+        longBytesPerObj += jvm::alignUp(classes[id].instanceBytes());
+    }
+    longBytesPerObj /= 4;
+    // 70%: interlink targets displaced from their slots stay reachable
+    // (bounded at one per node), and spines/scratch/rings take a share.
+    const std::uint64_t population = plan_.liveBytes * 70 / 100;
+    plan_.longEntries = static_cast<std::uint32_t>(std::max<std::uint64_t>(
+        plan_.segmentSlots, population / longBytesPerObj));
+    plan_.longSegments =
+        (plan_.longEntries + plan_.segmentSlots - 1) / plan_.segmentSlots;
+    plan_.longEntries = plan_.longSegments * plan_.segmentSlots;
+
+    // Cold classes (one per cold method; loaded on first call).
+    plan_.firstCold = static_cast<ClassId>(classes.size());
+    for (std::uint32_t i = 0; i < plan_.coldClasses; ++i)
+        addClass("Cold" + std::to_string(i), 0, 1,
+                 p_.classMetadataBytes * 2 / 3, p_.cpEntries / 2);
+
+    plan_.refArrayCls = addClass("Object[]", 0, 0, 256, 4);
+    classes[plan_.refArrayCls].isRefArray = true;
+    plan_.scalarArrayCls = addClass("long[]", 0, 0, 256, 4);
+    classes[plan_.scalarArrayCls].isScalarArray = true;
+    plan_.counterCls = addClass("Counters", 0, 8, 512, 8);
+}
+
+MethodId
+Builder::emitCold(std::uint32_t k)
+{
+    MethodBuilder mb(program_, "cold" + std::to_string(k),
+                     plan_.firstCold + k, 1, 0);
+    const std::int32_t x = 0; // argument register
+    const std::int32_t t = mb.ireg();
+    const std::int32_t c = mb.constant(static_cast<std::int32_t>(
+        k * 2654435761u & 0xffff));
+    // A straight-line body sized like a real utility method (~2 dozen
+    // bytecodes): enough code that loading + compiling cold methods
+    // costs what it does in a real VM.
+    for (int rep = 0; rep < 5; ++rep) {
+        mb.emit(Op::IAdd, t, x, c);
+        mb.emit(Op::IMul, t, t, c);
+        mb.emit(Op::IXor, t, t, x);
+        mb.emit(Op::IAdd, t, t, c);
+        mb.emit(Op::IXor, t, t, x);
+    }
+    return mb.finishRet(t);
+}
+
+MethodId
+Builder::emitDispatch(std::uint32_t lo, std::uint32_t hi)
+{
+    // Binary dispatch over cold methods [lo, hi): models virtual
+    // dispatch; leaves invoke the cold method itself.
+    if (hi - lo == 1)
+        return coldMethods_[lo];
+    const std::uint32_t mid = lo + (hi - lo) / 2;
+    const MethodId left = emitDispatch(lo, mid);
+    const MethodId right = emitDispatch(mid, hi);
+
+    MethodBuilder mb(program_, "dispatch" + std::to_string(lo) + "_" +
+                                   std::to_string(hi),
+                     plan_.firstApp, 1, 0);
+    const std::int32_t idx = 0;
+    const std::int32_t ret = mb.ireg();
+    const std::int32_t midReg = mb.constant(
+        static_cast<std::int32_t>(mid));
+    const std::uint32_t branch = mb.emit(Op::IfGe, idx, midReg, 0);
+    mb.emit(Op::Call, ret, static_cast<std::int32_t>(left), idx, 0);
+    const std::uint32_t skip = mb.emit(Op::Goto, 0);
+    mb.patchTarget(branch, mb.here());
+    mb.emit(Op::Call, ret, static_cast<std::int32_t>(right), idx, 0);
+    mb.patchTarget(skip, mb.here());
+    return mb.finishRet(ret);
+}
+
+MethodId
+Builder::emitAllocShort()
+{
+    // allocShort(n): ring-buffer allocation; objects die after one lap.
+    MethodBuilder mb(program_, "allocShort", plan_.firstApp, 1, 0);
+    const std::int32_t n = 0;
+    const std::int32_t i = mb.ireg();
+    const std::int32_t idx = mb.ireg();
+    const std::int32_t one = mb.constant(1);
+    const std::int32_t zero = mb.constant(0);
+    const std::int32_t len = mb.constant(
+        static_cast<std::int32_t>(plan_.shortEntries));
+    const std::int32_t buf = mb.rreg();
+    const std::int32_t obj = mb.rreg();
+
+    mb.emit(Op::GetStatic, buf, kShortBuf);
+    // Continue the ring where the previous call left off.
+    const std::int32_t ctr = mb.rreg();
+    mb.emit(Op::GetStatic, ctr, kCounters);
+    mb.emit(Op::GetField, idx, ctr, kCtrShortIdx);
+    mb.emit(Op::IConst, i, 0);
+
+    const std::uint32_t loop = mb.here();
+    const std::uint32_t exit = mb.emit(Op::IfGe, i, n, 0);
+    // Rotate over four allocation-site classes.
+    for (std::uint32_t site = 0; site < 4; ++site) {
+        mb.emit(Op::New, obj,
+                static_cast<std::int32_t>(appClass(site)));
+        mb.emit(Op::PutField, obj, 0, i); // initialize a field
+        mb.emit(Op::PutRefElem, buf, idx, obj);
+        mb.emit(Op::IAdd, idx, idx, one);
+        const std::uint32_t wrapOk = mb.emit(Op::IfLt, idx, len, 0);
+        mb.emit(Op::Move, idx, zero);
+        mb.patchTarget(wrapOk, mb.here());
+    }
+    mb.emit(Op::IAdd, i, i, one);
+    mb.emit(Op::Goto, static_cast<std::int32_t>(loop));
+    mb.patchTarget(exit, mb.here());
+    mb.emit(Op::PutField, ctr, kCtrShortIdx, idx);
+    return mb.finishRet(i);
+}
+
+MethodId
+Builder::emitAllocLong()
+{
+    // allocLong(n): replace random entries in the long-lived
+    // population (exponential lifetimes; write barrier pressure).
+    MethodBuilder mb(program_, "allocLong", plan_.firstApp, 1, 0);
+    const std::int32_t n = 0;
+    const std::int32_t i = mb.ireg();
+    const std::int32_t seg = mb.ireg();
+    const std::int32_t slot = mb.ireg();
+    const std::int32_t one = mb.constant(1);
+    const std::int32_t segs = mb.constant(
+        static_cast<std::int32_t>(plan_.longSegments));
+    const std::int32_t slots = mb.constant(
+        static_cast<std::int32_t>(plan_.segmentSlots));
+    const std::int32_t root = mb.rreg();
+    const std::int32_t segR = mb.rreg();
+    const std::int32_t obj = mb.rreg();
+
+    mb.emit(Op::GetStatic, root, kLongRoot);
+    mb.emit(Op::IConst, i, 0);
+    const std::uint32_t loop = mb.here();
+    const std::uint32_t exit = mb.emit(Op::IfGe, i, n, 0);
+    const std::int32_t other = mb.rreg();
+    // Rotate over the same classes the prefill used so replacement is
+    // size-neutral and the live set stays on plan. Classes with a
+    // second reference field interlink to a random existing node: the
+    // resulting graph entropy is what makes GC tracing pointer-chase
+    // (and keeps copying collectors from laying the heap out perfectly).
+    for (std::uint32_t site = 0; site < 4; ++site) {
+        mb.emit(Op::Rand, seg, segs);
+        mb.emit(Op::Rand, slot, slots);
+        mb.emit(Op::GetRefElem, segR, root, seg);
+        mb.emit(Op::New, obj,
+                static_cast<std::int32_t>(plan_.longClasses[site]));
+        mb.emit(Op::PutField, obj, 0, i);
+        mb.emit(Op::Rand, seg, segs);
+        mb.emit(Op::Rand, slot, slots);
+        mb.emit(Op::GetRefElem, other, root, seg);
+        mb.emit(Op::GetRefElem, other, other, slot);
+        const std::uint32_t noLink = mb.emit(Op::IfNull, other, 0);
+        mb.emit(Op::PutRef, other, 1, obj);
+        mb.patchTarget(noLink, mb.here());
+        mb.emit(Op::PutRefElem, segR, slot, obj);
+    }
+    mb.emit(Op::IAdd, i, i, one);
+    mb.emit(Op::Goto, static_cast<std::int32_t>(loop));
+    mb.patchTarget(exit, mb.here());
+    return mb.finishRet(i);
+}
+
+MethodId
+Builder::emitAllocLinked()
+{
+    // allocLinked(n): prepend to the list rooted in a static.
+    MethodBuilder mb(program_, "allocLinked", plan_.firstApp, 1, 0);
+    const std::int32_t n = 0;
+    const std::int32_t i = mb.ireg();
+    const std::int32_t one = mb.constant(1);
+    const std::int32_t head = mb.rreg();
+    const std::int32_t obj = mb.rreg();
+
+    mb.emit(Op::IConst, i, 0);
+    const std::uint32_t loop = mb.here();
+    const std::uint32_t exit = mb.emit(Op::IfGe, i, n, 0);
+    mb.emit(Op::New, obj, static_cast<std::int32_t>(appClass(8)));
+    mb.emit(Op::GetStatic, head, kListHead);
+    const std::uint32_t skipLink = mb.emit(Op::IfNull, head, 0);
+    mb.emit(Op::PutRef, obj, 0, head);
+    mb.patchTarget(skipLink, mb.here());
+    mb.emit(Op::PutField, obj, 0, i);
+    mb.emit(Op::PutStatic, kListHead, obj);
+    mb.emit(Op::IAdd, i, i, one);
+    mb.emit(Op::Goto, static_cast<std::int32_t>(loop));
+    mb.patchTarget(exit, mb.here());
+    return mb.finishRet(i);
+}
+
+MethodId
+Builder::emitAllocArrays()
+{
+    // allocArrays(n): transient scalar arrays in a small ring.
+    MethodBuilder mb(program_, "allocArrays", plan_.firstApp, 1, 0);
+    const std::int32_t n = 0;
+    const std::int32_t i = mb.ireg();
+    const std::int32_t idx = mb.ireg();
+    const std::int32_t one = mb.constant(1);
+    const std::int32_t zero = mb.constant(0);
+    const std::int32_t ring = mb.constant(
+        static_cast<std::int32_t>(plan_.arrayRing));
+    const std::int32_t len = mb.constant(
+        static_cast<std::int32_t>(plan_.arrayLen));
+    const std::int32_t buf = mb.rreg();
+    const std::int32_t arr = mb.rreg();
+    const std::int32_t ctr = mb.rreg();
+
+    mb.emit(Op::GetStatic, buf, kArrayBuf);
+    mb.emit(Op::GetStatic, ctr, kCounters);
+    mb.emit(Op::GetField, idx, ctr, kCtrArrayIdx);
+    mb.emit(Op::IConst, i, 0);
+    const std::uint32_t loop = mb.here();
+    const std::uint32_t exit = mb.emit(Op::IfGe, i, n, 0);
+    mb.emit(Op::NewArray, arr,
+            static_cast<std::int32_t>(plan_.scalarArrayCls), len);
+    mb.emit(Op::PutElem, arr, zero, i);
+    mb.emit(Op::PutRefElem, buf, idx, arr);
+    mb.emit(Op::IAdd, idx, idx, one);
+    const std::uint32_t wrapOk = mb.emit(Op::IfLt, idx, ring, 0);
+    mb.emit(Op::Move, idx, zero);
+    mb.patchTarget(wrapOk, mb.here());
+    mb.emit(Op::IAdd, i, i, one);
+    mb.emit(Op::Goto, static_cast<std::int32_t>(loop));
+    mb.patchTarget(exit, mb.here());
+    mb.emit(Op::PutField, ctr, kCtrArrayIdx, idx);
+    return mb.finishRet(i);
+}
+
+MethodId
+Builder::emitCompute()
+{
+    // compute(n): stride walk over the scratch working set with an
+    // ALU mix set by the profile's floating-point fraction.
+    MethodBuilder mb(program_, "compute", plan_.firstApp, 1, 0);
+    const std::int32_t n = 0;
+    const std::int32_t i = mb.ireg();
+    const std::int32_t pos = mb.ireg();
+    const std::int32_t seg = mb.ireg();
+    const std::int32_t slot = mb.ireg();
+    const std::int32_t acc = mb.ireg();
+    const std::int32_t v = mb.ireg();
+    const std::int32_t one = mb.constant(1);
+    const std::int32_t zero = mb.constant(0);
+    const std::int32_t segs = mb.constant(
+        static_cast<std::int32_t>(plan_.scratchSegments));
+    const std::int32_t slots = mb.constant(
+        static_cast<std::int32_t>(plan_.scratchSlots));
+    const std::int32_t root = mb.rreg();
+    const std::int32_t segR = mb.rreg();
+    const std::int32_t ctr = mb.rreg();
+
+    mb.emit(Op::GetStatic, root, kScratchRoot);
+    mb.emit(Op::GetStatic, ctr, kCounters);
+    mb.emit(Op::GetField, pos, ctr, kCtrComputePos);
+    mb.emit(Op::IConst, i, 0);
+    mb.emit(Op::IConst, acc, 0);
+    // Derive (seg, slot) from pos once per call, then walk linearly.
+    mb.emit(Op::IRem, slot, pos, slots);
+    mb.emit(Op::IRem, seg, pos, segs);
+    mb.emit(Op::GetRefElem, segR, root, seg);
+
+    const std::uint32_t loop = mb.here();
+    const std::uint32_t exit = mb.emit(Op::IfGe, i, n, 0);
+    mb.emit(Op::GetElem, v, segR, slot);
+    // ALU mix: integer always; FP ops according to the profile.
+    mb.emit(Op::IAdd, acc, acc, v);
+    mb.emit(Op::IXor, acc, acc, slot);
+    if (p_.fpFraction > 0.05)
+        mb.emit(Op::FMul, v, v, one);
+    if (p_.fpFraction > 0.45)
+        mb.emit(Op::FAdd, v, v, acc);
+    if (p_.fpFraction <= 0.05)
+        mb.emit(Op::IMul, v, v, one);
+    mb.emit(Op::PutElem, segR, slot, acc);
+    mb.emit(Op::IAdd, slot, slot, one);
+    const std::uint32_t noWrap = mb.emit(Op::IfLt, slot, slots, 0);
+    mb.emit(Op::Move, slot, zero);
+    mb.emit(Op::IAdd, seg, seg, one);
+    const std::uint32_t segOk = mb.emit(Op::IfLt, seg, segs, 0);
+    mb.emit(Op::Move, seg, zero);
+    mb.patchTarget(segOk, mb.here());
+    mb.emit(Op::GetRefElem, segR, root, seg);
+    mb.patchTarget(noWrap, mb.here());
+    mb.emit(Op::IAdd, i, i, one);
+    mb.emit(Op::Goto, static_cast<std::int32_t>(loop));
+    mb.patchTarget(exit, mb.here());
+    mb.emit(Op::IAdd, pos, pos, i);
+    mb.emit(Op::PutField, ctr, kCtrComputePos, pos);
+    return mb.finishRet(acc);
+}
+
+MethodId
+Builder::emitTraverse()
+{
+    // traverse(n): sequential pointer walk over the long-lived
+    // population (the locality-sensitive phase: copying collectors
+    // compact these nodes in exactly this visit order).
+    MethodBuilder mb(program_, "traverse", plan_.firstApp, 1, 0);
+    const std::int32_t n = 0;
+    const std::int32_t i = mb.ireg();
+    const std::int32_t seg = mb.ireg();
+    const std::int32_t slot = mb.ireg();
+    const std::int32_t acc = mb.ireg();
+    const std::int32_t v = mb.ireg();
+    const std::int32_t one = mb.constant(1);
+    const std::int32_t zero = mb.constant(0);
+    const std::int32_t segs = mb.constant(
+        static_cast<std::int32_t>(plan_.longSegments));
+    const std::int32_t slots = mb.constant(
+        static_cast<std::int32_t>(plan_.segmentSlots));
+    const std::int32_t root = mb.rreg();
+    const std::int32_t segR = mb.rreg();
+    const std::int32_t node = mb.rreg();
+    const std::int32_t ctr = mb.rreg();
+
+    mb.emit(Op::GetStatic, root, kLongRoot);
+    mb.emit(Op::GetStatic, ctr, kCounters);
+    mb.emit(Op::GetField, seg, ctr, kCtrTraverseSeg);
+    mb.emit(Op::GetField, slot, ctr, kCtrTraverseSlot);
+    mb.emit(Op::IConst, i, 0);
+    mb.emit(Op::IConst, acc, 0);
+    mb.emit(Op::GetRefElem, segR, root, seg);
+
+    const std::uint32_t loop = mb.here();
+    const std::uint32_t exit = mb.emit(Op::IfGe, i, n, 0);
+    mb.emit(Op::GetRefElem, node, segR, slot);
+    const std::uint32_t skip = mb.emit(Op::IfNull, node, 0);
+    mb.emit(Op::GetField, v, node, 0);
+    mb.emit(Op::IXor, acc, acc, v);
+    mb.patchTarget(skip, mb.here());
+    mb.emit(Op::IAdd, slot, slot, one);
+    const std::uint32_t noWrap = mb.emit(Op::IfLt, slot, slots, 0);
+    mb.emit(Op::Move, slot, zero);
+    mb.emit(Op::IAdd, seg, seg, one);
+    const std::uint32_t segOk = mb.emit(Op::IfLt, seg, segs, 0);
+    mb.emit(Op::Move, seg, zero);
+    mb.patchTarget(segOk, mb.here());
+    mb.emit(Op::GetRefElem, segR, root, seg);
+    mb.patchTarget(noWrap, mb.here());
+    mb.emit(Op::IAdd, i, i, one);
+    mb.emit(Op::Goto, static_cast<std::int32_t>(loop));
+    mb.patchTarget(exit, mb.here());
+    mb.emit(Op::PutField, ctr, kCtrTraverseSeg, seg);
+    mb.emit(Op::PutField, ctr, kCtrTraverseSlot, slot);
+    return mb.finishRet(acc);
+}
+
+MethodId
+Builder::emitInit()
+{
+    // init(): build spines, scratch, counters; prefill the long-lived
+    // population (touches every application class → startup CL burst).
+    MethodBuilder mb(program_, "init", plan_.firstApp, 0, 0);
+    const std::int32_t i = mb.ireg();
+    const std::int32_t j = mb.ireg();
+    const std::int32_t one = mb.constant(1);
+    const std::int32_t segs = mb.constant(
+        static_cast<std::int32_t>(plan_.longSegments));
+    const std::int32_t slots = mb.constant(
+        static_cast<std::int32_t>(plan_.segmentSlots));
+    const std::int32_t shortLen = mb.constant(
+        static_cast<std::int32_t>(plan_.shortEntries));
+    const std::int32_t ringLen = mb.constant(
+        static_cast<std::int32_t>(plan_.arrayRing));
+    const std::int32_t scrSegs = mb.constant(
+        static_cast<std::int32_t>(plan_.scratchSegments));
+    const std::int32_t scrSlots = mb.constant(
+        static_cast<std::int32_t>(plan_.scratchSlots));
+    const std::int32_t root = mb.rreg();
+    const std::int32_t segR = mb.rreg();
+    const std::int32_t obj = mb.rreg();
+    const std::int32_t other = mb.rreg();
+    const std::int32_t rnd = mb.ireg();
+    const std::int32_t zero2 = mb.constant(1); // guard: need j >= 1 to link
+
+    // Counters object first.
+    mb.emit(Op::New, obj, static_cast<std::int32_t>(plan_.counterCls));
+    mb.emit(Op::PutStatic, kCounters, obj);
+
+    // Short ring and array ring.
+    mb.emit(Op::NewArray, root,
+            static_cast<std::int32_t>(plan_.refArrayCls), shortLen);
+    mb.emit(Op::PutStatic, kShortBuf, root);
+    mb.emit(Op::NewArray, root,
+            static_cast<std::int32_t>(plan_.refArrayCls), ringLen);
+    mb.emit(Op::PutStatic, kArrayBuf, root);
+
+    // Scratch working set: spine + seeded segments.
+    mb.emit(Op::NewArray, root,
+            static_cast<std::int32_t>(plan_.refArrayCls), scrSegs);
+    mb.emit(Op::PutStatic, kScratchRoot, root);
+    mb.emit(Op::IConst, i, 0);
+    {
+        const std::uint32_t loop = mb.here();
+        const std::uint32_t exit = mb.emit(Op::IfGe, i, scrSegs, 0);
+        mb.emit(Op::NewArray, segR,
+                static_cast<std::int32_t>(plan_.scalarArrayCls),
+                scrSlots);
+        mb.emit(Op::PutElem, segR, i, i); // seed one element
+        mb.emit(Op::PutRefElem, root, i, segR);
+        mb.emit(Op::IAdd, i, i, one);
+        mb.emit(Op::Goto, static_cast<std::int32_t>(loop));
+        mb.patchTarget(exit, mb.here());
+    }
+
+    // Long-lived spine + full prefill (the database-load phase).
+    mb.emit(Op::NewArray, root,
+            static_cast<std::int32_t>(plan_.refArrayCls), segs);
+    mb.emit(Op::PutStatic, kLongRoot, root);
+    mb.emit(Op::IConst, i, 0);
+    {
+        const std::uint32_t outer = mb.here();
+        const std::uint32_t exitOuter = mb.emit(Op::IfGe, i, segs, 0);
+        mb.emit(Op::NewArray, segR,
+                static_cast<std::int32_t>(plan_.refArrayCls), slots);
+        mb.emit(Op::PutRefElem, root, i, segR);
+        mb.emit(Op::IConst, j, 0);
+        const std::uint32_t inner = mb.here();
+        const std::uint32_t exitInner = mb.emit(Op::IfGe, j, slots, 0);
+        // Rotate through every application class.
+        for (std::uint32_t site = 0; site < 4; ++site) {
+            mb.emit(Op::New, obj, static_cast<std::int32_t>(
+                plan_.longClasses[site]));
+            mb.emit(Op::PutField, obj, 0, j);
+            if (site == 0) {
+                // A random earlier node's interlink slot points at the
+                // new node (graph entropy; see allocLong).
+                const std::uint32_t noLink0 = mb.emit(Op::IfGe, zero2, j, 0);
+                mb.emit(Op::Rand, rnd, j);
+                mb.emit(Op::GetRefElem, other, segR, rnd);
+                const std::uint32_t noLink = mb.emit(Op::IfNull, other, 0);
+                mb.emit(Op::PutRef, other, 1, obj);
+                mb.patchTarget(noLink, mb.here());
+                mb.patchTarget(noLink0, mb.here());
+            }
+            mb.emit(Op::PutRefElem, segR, j, obj);
+            mb.emit(Op::IAdd, j, j, one);
+        }
+        // segmentSlots is a multiple of the 4-site unroll, so j can
+        // only reach the limit at the end of the unrolled block.
+        mb.emit(Op::Goto, static_cast<std::int32_t>(inner));
+        mb.patchTarget(exitInner, mb.here());
+        mb.emit(Op::IAdd, i, i, one);
+        mb.emit(Op::Goto, static_cast<std::int32_t>(outer));
+        mb.patchTarget(exitOuter, mb.here());
+    }
+
+    // Touch the remaining application classes once each.
+    for (std::uint32_t k = 0; k < plan_.appClasses; ++k) {
+        mb.emit(Op::New, obj, static_cast<std::int32_t>(appClass(k)));
+        mb.emit(Op::PutField, obj, 0, i);
+    }
+    return mb.finishRet(i);
+}
+
+MethodId
+Builder::emitIteration()
+{
+    // iteration(iter): one steady-state step.
+    MethodBuilder mb(program_, "iteration", plan_.firstApp, 1, 0);
+    const std::int32_t iter = 0;
+    const std::int32_t acc = mb.ireg();
+    const std::int32_t t = mb.ireg();
+    const std::int32_t arg = mb.ireg();
+    const std::int32_t tmp = mb.ireg();
+
+    const auto callWith = [&](MethodId m, std::int32_t count) {
+        mb.emit(Op::IConst, arg, count);
+        mb.emit(Op::Call, t, static_cast<std::int32_t>(m), arg, 0);
+        mb.emit(Op::IXor, acc, acc, t);
+    };
+
+    mb.emit(Op::IConst, acc, 0);
+    callWith(mAllocShort_,
+             static_cast<std::int32_t>(
+                 std::max<std::uint32_t>(1, plan_.shortPerIter / 4)));
+    callWith(mAllocLong_,
+             static_cast<std::int32_t>(
+                 std::max<std::uint32_t>(1, plan_.longPerIter / 4)));
+    if (plan_.linkedPerIter > 0)
+        callWith(mAllocLinked_,
+                 static_cast<std::int32_t>(plan_.linkedPerIter));
+    if (plan_.arraysPerIter > 0)
+        callWith(mAllocArrays_,
+                 static_cast<std::int32_t>(plan_.arraysPerIter));
+    callWith(mCompute_,
+             static_cast<std::int32_t>(plan_.computeElemsPerIter));
+    if (plan_.traversePerIter > 0)
+        callWith(mTraverse_,
+                 static_cast<std::int32_t>(plan_.traversePerIter));
+
+    // Cold calls through the dispatch tree.
+    for (std::uint32_t c = 0; c < p_.coldCallsPerIter; ++c) {
+        const std::int32_t bound = mb.constant(
+            static_cast<std::int32_t>(plan_.coldClasses));
+        mb.emit(Op::Rand, arg, bound);
+        mb.emit(Op::Call, t, static_cast<std::int32_t>(mDispatchRoot_),
+                arg, 0);
+        mb.emit(Op::IXor, acc, acc, t);
+    }
+
+    // Drop the linked structure periodically (en-masse death).
+    if (plan_.linkedPerIter > 0) {
+        const std::int32_t resetEvery = mb.constant(
+            static_cast<std::int32_t>(std::max<std::uint32_t>(
+                1, p_.listResetIters)));
+        const std::int32_t nullRef = mb.rreg(); // never assigned: null
+        mb.emit(Op::IRem, tmp, iter, resetEvery);
+        const std::int32_t zero = mb.constant(0);
+        const std::uint32_t keep = mb.emit(Op::IfNe, tmp, zero, 0);
+        mb.emit(Op::PutStatic, kListHead, nullRef);
+        mb.patchTarget(keep, mb.here());
+    }
+
+    // Native kernel (libc/IO stand-in).
+    if (p_.nativeUopsPerIter > 0)
+        mb.emit(Op::NativeWork,
+                static_cast<std::int32_t>(p_.nativeUopsPerIter),
+                static_cast<std::int32_t>(p_.nativeBytesPerIter));
+
+    return mb.finishRet(acc);
+}
+
+void
+Builder::emitMain()
+{
+    MethodBuilder mb(program_, "main", plan_.firstApp, 0, 0);
+    const std::int32_t acc = mb.ireg();
+    const std::int32_t i = mb.ireg();
+    const std::int32_t t = mb.ireg();
+    const std::int32_t one = mb.constant(1);
+    const std::int32_t iters = mb.constant(
+        static_cast<std::int32_t>(plan_.iterations));
+
+    mb.emit(Op::Call, acc, static_cast<std::int32_t>(mInit_), 0, 0);
+    mb.emit(Op::IConst, i, 0);
+    const std::uint32_t loop = mb.here();
+    const std::uint32_t exit = mb.emit(Op::IfGe, i, iters, 0);
+    mb.emit(Op::Call, t, static_cast<std::int32_t>(mIteration_), i, 0);
+    mb.emit(Op::IXor, acc, acc, t);
+    mb.emit(Op::IAdd, i, i, one);
+    mb.emit(Op::Goto, static_cast<std::int32_t>(loop));
+    mb.patchTarget(exit, mb.here());
+    program_.entry = mb.finishRet(acc);
+}
+
+void
+Builder::buildMethods()
+{
+    coldMethods_.clear();
+    for (std::uint32_t k = 0; k < plan_.coldClasses; ++k)
+        coldMethods_.push_back(emitCold(k));
+    mDispatchRoot_ = emitDispatch(0, plan_.coldClasses);
+    mAllocShort_ = emitAllocShort();
+    mAllocLong_ = emitAllocLong();
+    mAllocLinked_ = emitAllocLinked();
+    mAllocArrays_ = emitAllocArrays();
+    mCompute_ = emitCompute();
+    mTraverse_ = emitTraverse();
+    mInit_ = emitInit();
+    mIteration_ = emitIteration();
+    emitMain();
+}
+
+} // namespace
+
+StudyScale
+studyScaleFor(DatasetScale dataset)
+{
+    StudyScale s;
+    s.dataset = dataset == DatasetScale::Small ? 0.12 : 1.0;
+    return s;
+}
+
+Program
+buildProgram(const BenchmarkProfile &profile, const StudyScale &scale,
+             BuildInfo *info)
+{
+    Builder builder(profile, scale);
+    Program program = builder.build(info);
+    const auto errors = program.verify();
+    if (!errors.empty()) {
+        for (const auto &e : errors)
+            JAVELIN_WARN("verify: ", e);
+        JAVELIN_PANIC("generated program failed verification: ",
+                      profile.name);
+    }
+    return program;
+}
+
+} // namespace workloads
+} // namespace javelin

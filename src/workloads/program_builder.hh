@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Turns a BenchmarkProfile into an executable javelin Program.
+ *
+ * The emitted program has the canonical shape of the paper's workloads:
+ * an initialization phase that builds the long-lived data structures
+ * (loading classes as it goes), then a steady-state loop that allocates
+ * short- and long-lived objects and arrays, runs compute kernels over a
+ * scratch working set, traverses the long-lived structure (the
+ * locality-sensitive phase), calls cold methods through a dispatch tree
+ * (driving class loading and baseline compilation), and performs native
+ * work. Allocation volume, lifetimes, compute mix and class population
+ * all come from the profile; the program is deterministic given the
+ * profile seed, and its entry method returns a checksum that is
+ * invariant across VM configurations (used by differential tests).
+ */
+
+#ifndef JAVELIN_WORKLOADS_PROGRAM_BUILDER_HH
+#define JAVELIN_WORKLOADS_PROGRAM_BUILDER_HH
+
+#include "jvm/program.hh"
+#include "workloads/profile.hh"
+
+namespace javelin {
+namespace workloads {
+
+/**
+ * Static facts about a built program (for tests and reports).
+ */
+struct BuildInfo
+{
+    std::uint64_t plannedAllocBytes = 0;
+    std::uint64_t liveBytes = 0;
+    std::uint32_t iterations = 0;
+    std::uint32_t longEntries = 0;
+    std::uint32_t segmentSlots = 0;
+};
+
+/**
+ * Build a program from a profile at the given scale.
+ *
+ * @param profile the benchmark description
+ * @param scale global study scale (volume + dataset multipliers)
+ * @param info optional out-parameter with sizing facts
+ */
+jvm::Program buildProgram(const BenchmarkProfile &profile,
+                          const StudyScale &scale,
+                          BuildInfo *info = nullptr);
+
+} // namespace workloads
+} // namespace javelin
+
+#endif // JAVELIN_WORKLOADS_PROGRAM_BUILDER_HH

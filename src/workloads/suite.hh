@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Registry of the paper's benchmark selection (Fig. 5): seven SpecJVM98
+ * applications, five DaCapo applications, and four Java Grande Forum
+ * kernels, each as a calibrated BenchmarkProfile.
+ */
+
+#ifndef JAVELIN_WORKLOADS_SUITE_HH
+#define JAVELIN_WORKLOADS_SUITE_HH
+
+#include <vector>
+
+#include "workloads/profile.hh"
+
+namespace javelin {
+namespace workloads {
+
+/** All benchmarks, in paper order. */
+const std::vector<BenchmarkProfile> &allBenchmarks();
+
+/** Look up one benchmark by name; fatal if unknown. */
+const BenchmarkProfile &benchmark(const std::string &name);
+
+/** Benchmarks belonging to one suite ("SpecJVM98", "DaCapo", "JGF"). */
+std::vector<BenchmarkProfile> suiteBenchmarks(const std::string &suite);
+
+/** The five SpecJVM98 benchmarks used in the PXA255 study (VI-E). */
+std::vector<BenchmarkProfile> embeddedBenchmarks();
+
+} // namespace workloads
+} // namespace javelin
+
+#endif // JAVELIN_WORKLOADS_SUITE_HH

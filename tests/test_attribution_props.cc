@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Property suite for the measurement pipeline as a whole, parameterized
+ * over benchmark x collector: conservation laws that must hold for any
+ * run — energy totals match between the sampled trace, the exact
+ * accountant and the power model; attributed time equals run time;
+ * per-component energies are non-negative and sum to the total; peak
+ * >= average for every component.
+ */
+
+#include <gtest/gtest.h>
+
+#include "harness/experiment.hh"
+
+using namespace javelin;
+using namespace javelin::harness;
+
+namespace {
+
+struct Param
+{
+    const char *benchmark;
+    jvm::VmKind vm;
+    jvm::CollectorKind collector;
+    std::uint32_t heapMB;
+};
+
+class MeasurementConservation : public testing::TestWithParam<Param>
+{
+};
+
+} // namespace
+
+TEST_P(MeasurementConservation, Holds)
+{
+    const auto p = GetParam();
+    ExperimentConfig cfg;
+    cfg.vm = p.vm;
+    cfg.collector = p.collector;
+    cfg.heapNominalMB = p.heapMB;
+    cfg.dataset = workloads::DatasetScale::Small;
+    const auto res =
+        runExperiment(cfg, workloads::benchmark(p.benchmark));
+    ASSERT_TRUE(res.ok());
+
+    const auto &a = res.attribution;
+
+    // 1. Energy conservation: sampled total ~= exact total.
+    EXPECT_NEAR(a.totalCpuJoules, res.groundTruthCpuJoules,
+                res.groundTruthCpuJoules * 0.05);
+    EXPECT_NEAR(a.totalMemJoules, res.groundTruthMemJoules,
+                res.groundTruthMemJoules * 0.10);
+
+    // 2. Time conservation: attributed seconds ~= run seconds.
+    EXPECT_NEAR(a.totalSeconds, res.run.seconds(),
+                res.run.seconds() * 0.05);
+
+    // 3. Per-component sums equal the totals exactly (same samples).
+    double cpuSum = 0, memSum = 0, secSum = 0;
+    for (std::size_t i = 0; i < core::kNumComponents; ++i) {
+        const auto &c = a.power[i];
+        EXPECT_GE(c.cpuJoules, 0.0);
+        EXPECT_GE(c.peakCpuWatts,
+                  c.samples ? c.avgCpuWatts() * 0.999 : 0.0);
+        cpuSum += c.cpuJoules;
+        memSum += c.memJoules;
+        secSum += c.seconds;
+    }
+    EXPECT_NEAR(cpuSum, a.totalCpuJoules, 1e-9);
+    EXPECT_NEAR(memSum, a.totalMemJoules, 1e-9);
+    EXPECT_NEAR(secSum, a.totalSeconds, 1e-9);
+
+    // 4. Fractions form a distribution.
+    double frac = 0;
+    for (std::size_t i = 0; i < core::kNumComponents; ++i)
+        frac += a.energyFraction(static_cast<core::ComponentId>(i));
+    EXPECT_NEAR(frac, 1.0, 1e-9);
+    EXPECT_LE(a.jvmEnergyFraction(), 1.0);
+    EXPECT_GE(a.jvmEnergyFraction(), 0.0);
+
+    // 5. The run peak equals the max over component peaks.
+    double peak = 0;
+    for (std::size_t i = 0; i < core::kNumComponents; ++i)
+        peak = std::max(peak, a.power[i].peakCpuWatts);
+    EXPECT_DOUBLE_EQ(peak, a.peakCpuWatts);
+
+    // 6. Average power sits inside the platform's physical envelope.
+    const auto spec = scaledPlatformSpec(cfg);
+    const double avgW = a.totalCpuJoules / a.totalSeconds;
+    EXPECT_GT(avgW, spec.power.idleWatts);
+    EXPECT_LT(avgW, spec.power.idleWatts + 25.0);
+
+    // 7. Exact accountant covers the whole run.
+    EXPECT_NEAR(ticksToSeconds(res.run.endTick - res.run.startTick),
+                res.run.seconds(), 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, MeasurementConservation,
+    testing::Values(
+        Param{"_201_compress", jvm::VmKind::Jikes,
+              jvm::CollectorKind::SemiSpace, 32},
+        Param{"_202_jess", jvm::VmKind::Jikes,
+              jvm::CollectorKind::MarkSweep, 48},
+        Param{"_209_db", jvm::VmKind::Jikes,
+              jvm::CollectorKind::GenCopy, 64},
+        Param{"_213_javac", jvm::VmKind::Jikes,
+              jvm::CollectorKind::GenMS, 32},
+        Param{"_227_mtrt", jvm::VmKind::Jikes,
+              jvm::CollectorKind::GenCopy, 96},
+        Param{"_228_jack", jvm::VmKind::Kaffe,
+              jvm::CollectorKind::IncrementalMS, 64},
+        Param{"fop", jvm::VmKind::Kaffe,
+              jvm::CollectorKind::IncrementalMS, 48},
+        Param{"jython", jvm::VmKind::Jikes,
+              jvm::CollectorKind::GenMS, 128},
+        Param{"euler", jvm::VmKind::Jikes,
+              jvm::CollectorKind::SemiSpace, 64},
+        Param{"moldyn", jvm::VmKind::Kaffe,
+              jvm::CollectorKind::IncrementalMS, 32}),
+    [](const testing::TestParamInfo<Param> &info) {
+        std::string name = info.param.benchmark;
+        name += "_";
+        name += jvm::collectorName(info.param.collector);
+        name += "_" + std::to_string(info.param.heapMB);
+        for (char &c : name)
+            if (!std::isalnum(static_cast<unsigned char>(c)))
+                c = '_';
+        return name;
+    });

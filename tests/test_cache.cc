@@ -1,0 +1,238 @@
+/**
+ * @file
+ * Unit and property tests for the cache model and memory hierarchy.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/cache.hh"
+#include "sim/memory_hierarchy.hh"
+#include "util/random.hh"
+
+using namespace javelin;
+using sim::Address;
+using sim::Cache;
+using sim::MemoryHierarchy;
+using sim::PerfCounters;
+
+namespace {
+
+Cache::Config
+smallCache(std::uint64_t size = 1024, std::uint32_t assoc = 2,
+           std::uint32_t line = 64)
+{
+    return {"test", size, assoc, line};
+}
+
+} // namespace
+
+TEST(Cache, FirstAccessMisses)
+{
+    Cache c(smallCache());
+    EXPECT_FALSE(c.access(0x1000, false).hit);
+    EXPECT_EQ(c.stats().readMisses, 1u);
+}
+
+TEST(Cache, HitAfterAccess)
+{
+    Cache c(smallCache());
+    c.access(0x1000, false);
+    EXPECT_TRUE(c.access(0x1000, false).hit);
+    EXPECT_TRUE(c.access(0x1000 + 63, false).hit); // same line
+    EXPECT_FALSE(c.access(0x1000 + 64, false).hit); // next line
+}
+
+TEST(Cache, LruEviction)
+{
+    // 1 KiB, 2-way, 64 B lines -> 8 sets. Addresses 0, 512, 1024 share
+    // set 0 (line numbers 0, 8, 16).
+    Cache c(smallCache());
+    c.access(0, false);
+    c.access(512, false);
+    c.access(0, false);     // refresh line 0
+    c.access(1024, false);  // evicts 512 (LRU)
+    EXPECT_TRUE(c.access(0, false).hit);
+    EXPECT_FALSE(c.access(512, false).hit);
+}
+
+TEST(Cache, WritebackOnDirtyEviction)
+{
+    Cache c(smallCache());
+    c.access(0, true); // dirty
+    c.access(512, false);
+    const auto r = c.access(1024, false); // evicts dirty line 0
+    EXPECT_TRUE(r.writeback);
+    EXPECT_EQ(c.stats().writebacks, 1u);
+}
+
+TEST(Cache, CleanEvictionNoWriteback)
+{
+    Cache c(smallCache());
+    c.access(0, false);
+    c.access(512, false);
+    EXPECT_FALSE(c.access(1024, false).writeback);
+}
+
+TEST(Cache, WriteHitMarksDirty)
+{
+    Cache c(smallCache());
+    c.access(0, false);
+    c.access(0, true); // now dirty
+    c.access(512, false);
+    EXPECT_TRUE(c.access(1024, false).writeback);
+}
+
+TEST(Cache, FlushInvalidatesAll)
+{
+    Cache c(smallCache());
+    c.access(0x2000, false);
+    c.flush();
+    EXPECT_FALSE(c.contains(0x2000));
+    EXPECT_FALSE(c.access(0x2000, false).hit);
+}
+
+TEST(Cache, CapacityWorkingSetFits)
+{
+    // Working set equal to capacity must fully hit on the second pass.
+    Cache c(smallCache(4096, 4, 64));
+    for (Address a = 0; a < 4096; a += 64)
+        c.access(a, false);
+    for (Address a = 0; a < 4096; a += 64)
+        EXPECT_TRUE(c.access(a, false).hit) << a;
+}
+
+TEST(Cache, OverCapacityThrashes)
+{
+    // Sequential working set of 2x capacity with LRU: zero hits.
+    Cache c(smallCache(1024, 2, 64));
+    for (int pass = 0; pass < 3; ++pass)
+        for (Address a = 0; a < 2048; a += 64)
+            c.access(a, false);
+    EXPECT_EQ(c.stats().reads, c.stats().readMisses);
+}
+
+TEST(Cache, PrefetchInsertTaggedAndHitOnce)
+{
+    Cache c(smallCache());
+    c.insertPrefetch(0x4000);
+    EXPECT_TRUE(c.contains(0x4000));
+    auto r = c.access(0x4000, false);
+    EXPECT_TRUE(r.hit);
+    EXPECT_TRUE(r.prefetchedHit);
+    r = c.access(0x4000, false);
+    EXPECT_TRUE(r.hit);
+    EXPECT_FALSE(r.prefetchedHit); // tag cleared by first demand hit
+}
+
+TEST(Cache, BadConfigPanics)
+{
+    Cache::Config bad = smallCache();
+    bad.lineBytes = 48; // not a power of two
+    EXPECT_DEATH(Cache c(bad), "power of two");
+}
+
+/** Parameterized geometry sweep: invariants hold for all shapes. */
+class CacheGeometry
+    : public testing::TestWithParam<std::tuple<int, int, int>>
+{
+};
+
+TEST_P(CacheGeometry, HitAfterMissInvariant)
+{
+    const auto [size_kb, assoc, line] = GetParam();
+    Cache c(smallCache(static_cast<std::uint64_t>(size_kb) * 1024,
+                       assoc, line));
+    Rng rng(123);
+    for (int i = 0; i < 4000; ++i) {
+        const Address a = rng.uniformInt(1 << 20);
+        c.access(a, rng.bernoulli(0.3));
+        EXPECT_TRUE(c.access(a, false).hit);
+    }
+    // Conservation: every access is a read or a write.
+    EXPECT_EQ(c.stats().accesses(), 8000u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, CacheGeometry,
+    testing::Values(std::make_tuple(1, 1, 32), std::make_tuple(4, 2, 32),
+                    std::make_tuple(8, 4, 64), std::make_tuple(16, 8, 64),
+                    std::make_tuple(32, 8, 64),
+                    std::make_tuple(32, 32, 32),
+                    std::make_tuple(256, 8, 64)));
+
+TEST(MemoryHierarchy, L2HitCheaperThanDram)
+{
+    PerfCounters counters;
+    MemoryHierarchy::Config cfg;
+    cfg.l1d = smallCache(1024, 2, 64);
+    cfg.l1i = smallCache(1024, 2, 64);
+    cfg.l2 = smallCache(8192, 4, 64);
+    cfg.l2HitCycles = 9;
+    cfg.dramCycles = 180;
+    MemoryHierarchy mh(cfg, counters);
+
+    const auto cold = mh.data(0x10000, false); // L1+L2 miss -> DRAM
+    EXPECT_GE(cold, 180u);
+    // Evict from tiny L1 but keep in L2.
+    mh.data(0x10000 + 512, false);
+    mh.data(0x10000 + 1024, false);
+    const auto warm = mh.data(0x10000, false); // L1 miss, L2 hit
+    EXPECT_EQ(warm, 9u);
+    EXPECT_EQ(counters.dramAccesses, 3u);
+}
+
+TEST(MemoryHierarchy, NoL2GoesStraightToDram)
+{
+    PerfCounters counters;
+    MemoryHierarchy::Config cfg;
+    cfg.l1d = smallCache(1024, 2, 32);
+    cfg.l1i = smallCache(1024, 2, 32);
+    cfg.l2.reset();
+    cfg.dramCycles = 24;
+    MemoryHierarchy mh(cfg, counters);
+    EXPECT_FALSE(mh.hasL2());
+    EXPECT_EQ(mh.data(0x4000, false), 24u);
+    EXPECT_EQ(counters.dramAccesses, 1u);
+    EXPECT_EQ(counters.l2Accesses, 0u);
+}
+
+TEST(MemoryHierarchy, CountersTrackLevels)
+{
+    PerfCounters counters;
+    MemoryHierarchy::Config cfg;
+    cfg.l1d = smallCache(1024, 2, 64);
+    cfg.l1i = smallCache(1024, 2, 64);
+    cfg.l2 = smallCache(64 * 1024, 8, 64);
+    MemoryHierarchy mh(cfg, counters);
+
+    mh.data(0, false);
+    mh.data(0, false); // L1 hit
+    EXPECT_EQ(counters.l1dAccesses, 2u);
+    EXPECT_EQ(counters.l1dMisses, 1u);
+    EXPECT_EQ(counters.l2Accesses, 1u);
+    mh.fetch(0x100000);
+    EXPECT_EQ(counters.l1iAccesses, 1u);
+    EXPECT_EQ(counters.l1iMisses, 1u);
+}
+
+TEST(MemoryHierarchy, PrefetcherTurnsStreamIntoL2Hits)
+{
+    PerfCounters withPf, withoutPf;
+    MemoryHierarchy::Config cfg;
+    cfg.l1d = smallCache(1024, 2, 64);
+    cfg.l1i = smallCache(1024, 2, 64);
+    cfg.l2 = smallCache(64 * 1024, 8, 64);
+    cfg.nextLinePrefetch = true;
+    MemoryHierarchy pf(cfg, withPf);
+    cfg.nextLinePrefetch = false;
+    MemoryHierarchy nopf(cfg, withoutPf);
+
+    for (Address a = 0; a < 32 * 1024; a += 8) {
+        pf.data(a, false);
+        nopf.data(a, false);
+    }
+    // Streaming: prefetch converts most L2 demand misses into hits.
+    EXPECT_LT(withPf.l2Misses, withoutPf.l2Misses / 4);
+    // Prefetch still fetches the data from DRAM (energy accounting).
+    EXPECT_GT(withPf.dramAccesses, withoutPf.dramAccesses / 2);
+}

@@ -1,0 +1,443 @@
+/**
+ * @file
+ * Correctness tests for all five collectors, including a randomized
+ * property suite: after any sequence of allocation, mutation and
+ * collection, every object reachable from the roots must be intact
+ * (scalar payloads preserved, reference structure isomorphic) and
+ * garbage must eventually be reclaimed.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "jvm/gc/collector.hh"
+#include "jvm/gc/gencopy.hh"
+#include "jvm/gc/genms.hh"
+#include "jvm/gc/incremental_ms.hh"
+#include "jvm/gc/marksweep.hh"
+#include "jvm/gc/semispace.hh"
+#include "sim/platform.hh"
+#include "util/random.hh"
+
+using namespace javelin;
+using namespace javelin::jvm;
+
+namespace {
+
+std::vector<ClassInfo>
+gcClasses()
+{
+    std::vector<ClassInfo> classes(2);
+    classes[0].id = 0;
+    classes[0].name = "Node";
+    classes[0].refFields = 2;
+    classes[0].scalarFields = 2;
+    classes[1].id = 1;
+    classes[1].name = "Object[]";
+    classes[1].isRefArray = true;
+    return classes;
+}
+
+/** Minimal VM stand-in: a root array plus gc bracket counting. */
+class TestHost : public GcHost
+{
+  public:
+    void
+    forEachRoot(const std::function<void(Address &)> &fn) override
+    {
+        for (Address &r : roots)
+            fn(r);
+    }
+    void gcBegin(bool major) override { ++begins; majors += major; }
+    void gcEnd(bool) override { ++ends; }
+
+    std::vector<Address> roots;
+    int begins = 0;
+    int ends = 0;
+    int majors = 0;
+};
+
+struct GcFixture
+{
+    explicit GcFixture(CollectorKind kind, std::uint64_t heap_bytes)
+        : system(sim::p6Spec()), heap(heap_bytes),
+          classes(gcClasses()), om(heap, system.cpu(), classes)
+    {
+        collector = makeCollector(kind, GcEnv{heap, om, system, host});
+    }
+
+    /** Allocate and initialize one Node; returns 0 on OOM. */
+    Address
+    newNode(std::int64_t v0, std::int64_t v1)
+    {
+        const std::uint32_t bytes = om.objectBytes(classes[0], 0);
+        const Address a = collector->allocate(bytes);
+        if (a == kNull)
+            return kNull;
+        om.initObject(a, classes[0], bytes, 0);
+        collector->postInit(a);
+        om.setGcBitsRaw(a, om.gcBitsRaw(a)); // no-op; keep layout honest
+        heapStore(a, 0, kNull);
+        heapStore(a, 1, kNull);
+        om.storeScalar(a, 0, v0);
+        om.storeScalar(a, 1, v1);
+        return a;
+    }
+
+    /** Reference store through the mutator path (barrier included). */
+    void
+    heapStore(Address holder, std::uint32_t slot, Address value)
+    {
+        if (collector->needsWriteBarrier())
+            collector->writeBarrier(holder, om.refSlotAddr(holder, slot),
+                                    value);
+        om.storeRef(holder, slot, value);
+    }
+
+    /** Checksum of the graph reachable from the roots (raw walk). */
+    std::uint64_t
+    reachableChecksum(std::size_t *count = nullptr) const
+    {
+        std::unordered_set<Address> seen;
+        std::vector<Address> stack(host.roots.begin(), host.roots.end());
+        std::uint64_t sum = 0;
+        std::size_t n = 0;
+        while (!stack.empty()) {
+            const Address a = stack.back();
+            stack.pop_back();
+            if (a == kNull || !seen.insert(a).second)
+                continue;
+            ++n;
+            EXPECT_FALSE(om.isForwardedRaw(a))
+                << "reachable object left forwarded";
+            sum ^= static_cast<std::uint64_t>(om.scalarRaw(a, 0)) *
+                   0x9e3779b97f4a7c15ULL;
+            sum += static_cast<std::uint64_t>(om.scalarRaw(a, 1));
+            for (std::uint32_t i = 0; i < om.refCountRaw(a); ++i)
+                stack.push_back(om.refRaw(a, i));
+        }
+        if (count)
+            *count = n;
+        return sum;
+    }
+
+    sim::System system;
+    Heap heap;
+    std::vector<ClassInfo> classes;
+    ObjectModel om;
+    TestHost host;
+    std::unique_ptr<Collector> collector;
+};
+
+} // namespace
+
+// ---------- Targeted per-collector tests ----------
+
+TEST(SemiSpace, SurvivorsCopiedAndUpdated)
+{
+    GcFixture f(CollectorKind::SemiSpace, 256 * kKiB);
+    const Address a = f.newNode(11, 22);
+    const Address b = f.newNode(33, 44);
+    f.heapStore(a, 0, b);
+    f.host.roots.push_back(a);
+
+    f.collector->collect(true);
+    const Address a2 = f.host.roots[0];
+    EXPECT_NE(a2, a); // moved
+    EXPECT_EQ(f.om.scalarRaw(a2, 0), 11);
+    const Address b2 = f.om.refRaw(a2, 0);
+    EXPECT_NE(b2, b);
+    EXPECT_EQ(f.om.scalarRaw(b2, 1), 44);
+    EXPECT_EQ(f.collector->stats().objectsCopied, 2u);
+}
+
+TEST(SemiSpace, GarbageReclaimed)
+{
+    GcFixture f(CollectorKind::SemiSpace, 256 * kKiB);
+    for (int i = 0; i < 100; ++i)
+        f.newNode(i, i);
+    f.collector->collect(true);
+    EXPECT_EQ(f.collector->heapUsed(), 0u); // nothing was rooted
+}
+
+TEST(SemiSpace, AllocationTriggersCollection)
+{
+    GcFixture f(CollectorKind::SemiSpace, 128 * kKiB);
+    for (int i = 0; i < 5000; ++i)
+        ASSERT_NE(f.newNode(i, i), kNull);
+    EXPECT_GT(f.host.begins, 0);
+    EXPECT_EQ(f.host.begins, f.host.ends);
+}
+
+TEST(SemiSpace, OutOfMemoryOnLiveOverflow)
+{
+    GcFixture f(CollectorKind::SemiSpace, 128 * kKiB);
+    // Keep everything live: half the heap cannot hold it.
+    Address prev = kNull;
+    bool oom = false;
+    for (int i = 0; i < 5000 && !oom; ++i) {
+        const Address n = f.newNode(i, i);
+        if (n == kNull) {
+            oom = true;
+            break;
+        }
+        f.heapStore(n, 0, prev);
+        prev = n;
+        if (f.host.roots.empty())
+            f.host.roots.push_back(n);
+        else
+            f.host.roots[0] = n;
+    }
+    EXPECT_TRUE(oom);
+}
+
+TEST(MarkSweep, ObjectsDoNotMove)
+{
+    GcFixture f(CollectorKind::MarkSweep, 256 * kKiB);
+    const Address a = f.newNode(5, 6);
+    f.host.roots.push_back(a);
+    f.collector->collect(true);
+    EXPECT_EQ(f.host.roots[0], a);
+    EXPECT_EQ(f.om.scalarRaw(a, 0), 5);
+}
+
+TEST(MarkSweep, SweepFreesGarbageCells)
+{
+    GcFixture f(CollectorKind::MarkSweep, 256 * kKiB);
+    const Address keep = f.newNode(1, 2);
+    f.host.roots.push_back(keep);
+    for (int i = 0; i < 200; ++i)
+        f.newNode(i, i);
+    const auto used = f.collector->heapUsed();
+    f.collector->collect(true);
+    EXPECT_LT(f.collector->heapUsed(), used / 4);
+    EXPECT_GT(f.collector->stats().bytesFreed, 0u);
+    // Mark bits are cleared after the sweep.
+    EXPECT_EQ(f.om.gcBitsRaw(keep) & kMarkBit, 0u);
+}
+
+TEST(GenCopy, MinorPromotesSurvivors)
+{
+    GcFixture f(CollectorKind::GenCopy, 512 * kKiB);
+    auto *gc = static_cast<GenCopyCollector *>(f.collector.get());
+    const Address a = f.newNode(7, 8);
+    EXPECT_TRUE(gc->nursery().contains(a));
+    f.host.roots.push_back(a);
+    f.collector->collect(false);
+    const Address a2 = f.host.roots[0];
+    EXPECT_TRUE(gc->matureActive().contains(a2));
+    EXPECT_EQ(f.om.scalarRaw(a2, 0), 7);
+    EXPECT_EQ(gc->stats().minorCollections, 1u);
+}
+
+TEST(GenCopy, WriteBarrierCatchesOldToYoung)
+{
+    GcFixture f(CollectorKind::GenCopy, 512 * kKiB);
+    auto *gc = static_cast<GenCopyCollector *>(f.collector.get());
+    // Promote one object to mature.
+    const Address a = f.newNode(1, 1);
+    f.host.roots.push_back(a);
+    f.collector->collect(false);
+    const Address old = f.host.roots[0];
+    ASSERT_TRUE(gc->matureActive().contains(old));
+
+    // Create a young object reachable ONLY through the old object.
+    const Address young = f.newNode(42, 43);
+    f.heapStore(old, 0, young);
+    EXPECT_GT(gc->remset().size(), 0u);
+
+    f.collector->collect(false);
+    const Address promoted = f.om.refRaw(f.host.roots[0], 0);
+    EXPECT_NE(promoted, kNull);
+    EXPECT_TRUE(gc->matureActive().contains(promoted));
+    EXPECT_EQ(f.om.scalarRaw(promoted, 0), 42);
+}
+
+TEST(GenCopy, YoungToYoungNotRecorded)
+{
+    GcFixture f(CollectorKind::GenCopy, 512 * kKiB);
+    auto *gc = static_cast<GenCopyCollector *>(f.collector.get());
+    const Address a = f.newNode(1, 1);
+    const Address b = f.newNode(2, 2);
+    f.heapStore(a, 0, b);
+    EXPECT_EQ(gc->remset().size(), 0u);
+    EXPECT_EQ(gc->stats().barrierHits, 0u);
+}
+
+TEST(GenCopy, MajorCollectsMature)
+{
+    GcFixture f(CollectorKind::GenCopy, 512 * kKiB);
+    auto *gc = static_cast<GenCopyCollector *>(f.collector.get());
+    // Promote garbage into mature, then drop it.
+    for (int batch = 0; batch < 10; ++batch) {
+        f.host.roots.clear();
+        for (int i = 0; i < 50; ++i)
+            f.host.roots.push_back(f.newNode(i, batch));
+        f.collector->collect(false);
+    }
+    f.host.roots.clear();
+    f.collector->collect(true);
+    EXPECT_EQ(gc->heapUsed(), 0u);
+}
+
+TEST(GenMS, MinorPromotesIntoFreeList)
+{
+    GcFixture f(CollectorKind::GenMS, 512 * kKiB);
+    auto *gc = static_cast<GenMSCollector *>(f.collector.get());
+    const Address a = f.newNode(9, 10);
+    EXPECT_TRUE(gc->nursery().contains(a));
+    f.host.roots.push_back(a);
+    f.collector->collect(false);
+    const Address a2 = f.host.roots[0];
+    EXPECT_TRUE(gc->mature().isAllocatedCell(a2));
+    EXPECT_EQ(f.om.scalarRaw(a2, 1), 10);
+}
+
+TEST(GenMS, MajorSweepsMatureGarbage)
+{
+    GcFixture f(CollectorKind::GenMS, 512 * kKiB);
+    auto *gc = static_cast<GenMSCollector *>(f.collector.get());
+    for (int batch = 0; batch < 8; ++batch) {
+        f.host.roots.clear();
+        for (int i = 0; i < 80; ++i)
+            f.host.roots.push_back(f.newNode(i, batch));
+        f.collector->collect(false); // promote, then orphan next batch
+    }
+    const Address keep = f.host.roots[0];
+    f.host.roots.clear();
+    f.host.roots.push_back(keep);
+    f.collector->collect(true);
+    EXPECT_LT(gc->mature().usedBytes(), 4096u);
+    EXPECT_EQ(f.om.scalarRaw(f.host.roots[0], 0), 0);
+}
+
+TEST(IncMS, IncrementalCycleCompletes)
+{
+    GcFixture f(CollectorKind::IncrementalMS, 256 * kKiB);
+    auto *gc = static_cast<IncrementalMSCollector *>(f.collector.get());
+    f.host.roots.push_back(f.newNode(1, 2));
+    // Allocate garbage until a cycle starts and finishes.
+    for (int i = 0; i < 20000; ++i)
+        ASSERT_NE(f.newNode(i, i), kNull);
+    EXPECT_GT(gc->stats().majorCollections, 0u);
+    EXPECT_GT(gc->stats().bytesFreed, 0u);
+    EXPECT_EQ(f.om.scalarRaw(f.host.roots[0], 1), 2);
+}
+
+TEST(IncMS, DijkstraBarrierPreservesHiddenObject)
+{
+    GcFixture f(CollectorKind::IncrementalMS, 256 * kKiB);
+    auto *gc = static_cast<IncrementalMSCollector *>(f.collector.get());
+    const Address holder = f.newNode(1, 1);
+    f.host.roots.push_back(holder);
+
+    // Fill until marking starts.
+    while (!gc->marking())
+        ASSERT_NE(f.newNode(0, 0), kNull);
+
+    // Hide a white object behind an already-scanned root holder.
+    const Address hidden = f.newNode(321, 654);
+    f.heapStore(f.host.roots[0], 0, hidden);
+
+    gc->collect(true); // finish the cycle
+    const Address h = f.om.refRaw(f.host.roots[0], 0);
+    ASSERT_NE(h, kNull);
+    EXPECT_EQ(f.om.scalarRaw(h, 0), 321);
+}
+
+TEST(IncMS, AllocateBlackDuringMarking)
+{
+    GcFixture f(CollectorKind::IncrementalMS, 256 * kKiB);
+    auto *gc = static_cast<IncrementalMSCollector *>(f.collector.get());
+    // Find an allocation that happened while a marking cycle was still
+    // in flight afterwards (an allocation can itself finish a cycle).
+    for (int i = 0; i < 50000; ++i) {
+        const Address a = f.newNode(5, 5);
+        ASSERT_NE(a, kNull);
+        if (gc->marking()) {
+            EXPECT_TRUE(f.om.gcBitsRaw(a) & kMarkBit)
+                << "object born white during marking";
+            return;
+        }
+    }
+    FAIL() << "marking never observed";
+}
+
+// ---------- Randomized property suite over all collectors ----------
+
+struct GcPropertyParam
+{
+    CollectorKind kind;
+    std::uint64_t heapKiB;
+    std::uint64_t seed;
+};
+
+class GcProperty : public testing::TestWithParam<GcPropertyParam>
+{
+};
+
+TEST_P(GcProperty, ReachableGraphSurvivesChurn)
+{
+    const auto param = GetParam();
+    GcFixture f(param.kind, param.heapKiB * kKiB);
+    Rng rng(param.seed);
+
+    // Rooted ring buffer of recent objects plus some long-lived roots.
+    constexpr int kRoots = 24;
+    f.host.roots.assign(kRoots, kNull);
+
+    for (int step = 0; step < 6000; ++step) {
+        const Address n = f.newNode(step, static_cast<std::int64_t>(
+                                              rng.next() & 0xffff));
+        ASSERT_NE(n, kNull) << "unexpected OOM at step " << step;
+
+        // Link to up to two random roots (graph entropy).
+        for (int e = 0; e < 2; ++e) {
+            const Address target =
+                f.host.roots[rng.uniformInt(kRoots)];
+            if (target != kNull && rng.bernoulli(0.7))
+                f.heapStore(n, e, target);
+        }
+        // Replace a random root (dropping whatever hung off it).
+        f.host.roots[rng.uniformInt(kRoots)] = n;
+
+        if (step % 512 == 511) {
+            std::size_t before = 0;
+            const std::uint64_t sum = f.reachableChecksum(&before);
+            f.collector->collect(rng.bernoulli(0.3));
+            std::size_t after = 0;
+            EXPECT_EQ(f.reachableChecksum(&after), sum)
+                << "graph corrupted at step " << step;
+            EXPECT_EQ(before, after);
+        }
+    }
+
+    // Final: drop all roots; a full collection reclaims everything the
+    // non-moving collectors can identify (and copying ones entirely).
+    f.host.roots.assign(kRoots, kNull);
+    f.collector->collect(true);
+    f.collector->collect(true);
+    EXPECT_LT(f.collector->heapUsed(), 64 * kKiB);
+    EXPECT_EQ(f.host.begins, f.host.ends);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCollectors, GcProperty,
+    testing::Values(
+        GcPropertyParam{CollectorKind::SemiSpace, 256, 1},
+        GcPropertyParam{CollectorKind::SemiSpace, 1024, 2},
+        GcPropertyParam{CollectorKind::MarkSweep, 256, 3},
+        GcPropertyParam{CollectorKind::MarkSweep, 1024, 4},
+        GcPropertyParam{CollectorKind::GenCopy, 384, 5},
+        GcPropertyParam{CollectorKind::GenCopy, 1024, 6},
+        GcPropertyParam{CollectorKind::GenMS, 384, 7},
+        GcPropertyParam{CollectorKind::GenMS, 1024, 8},
+        GcPropertyParam{CollectorKind::IncrementalMS, 256, 9},
+        GcPropertyParam{CollectorKind::IncrementalMS, 1024, 10}),
+    [](const testing::TestParamInfo<GcPropertyParam> &info) {
+        return std::string(collectorName(info.param.kind)) + "_" +
+               std::to_string(info.param.heapKiB) + "KiB";
+    });

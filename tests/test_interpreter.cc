@@ -1,0 +1,503 @@
+/**
+ * @file
+ * Bytecode, verifier and execution-engine tests, including the
+ * cross-tier differential property: the same program must compute the
+ * same result under every compilation tier and every collector.
+ */
+
+#include <gtest/gtest.h>
+
+#include "jvm/jvm.hh"
+#include "jvm/method_builder.hh"
+#include "sim/platform.hh"
+
+using namespace javelin;
+using namespace javelin::jvm;
+
+namespace {
+
+/** Program with one class and a main() built by the given function. */
+Program
+makeProgram(const std::function<void(Program &)> &build)
+{
+    Program p;
+    p.name = "test";
+    p.numStatics = 4;
+    ClassInfo node;
+    node.id = 0;
+    node.name = "Node";
+    node.refFields = 2;
+    node.scalarFields = 2;
+    p.classes.push_back(node);
+    ClassInfo refArr;
+    refArr.id = 1;
+    refArr.name = "Object[]";
+    refArr.isRefArray = true;
+    p.classes.push_back(refArr);
+    ClassInfo scalArr;
+    scalArr.id = 2;
+    scalArr.name = "long[]";
+    scalArr.isScalarArray = true;
+    p.classes.push_back(scalArr);
+    build(p);
+    p.layout();
+    return p;
+}
+
+std::int64_t
+runProgram(const Program &p,
+           CollectorKind kind = CollectorKind::SemiSpace,
+           Tier tier = Tier::Baseline, std::uint64_t heap = 512 * kKiB)
+{
+    sim::System system(sim::p6Spec());
+    JvmConfig cfg;
+    cfg.collector = kind;
+    cfg.heapBytes = heap;
+    cfg.interp.compileOnInvoke = tier;
+    cfg.adaptiveOptimization = false;
+    Jvm vm(system, p, cfg);
+    const RunResult r = vm.run();
+    EXPECT_FALSE(r.outOfMemory);
+    EXPECT_FALSE(r.stackOverflow);
+    return r.returnValue;
+}
+
+} // namespace
+
+TEST(Bytecode, OpNamesAndDisassembly)
+{
+    EXPECT_STREQ(opName(Op::IAdd), "iadd");
+    EXPECT_STREQ(opName(Op::PutRefElem), "putrefelem");
+    Instruction in{Op::IAdd, 1, 2, 3, 0};
+    EXPECT_EQ(disassemble(in), "iadd 1, 2, 3, 0");
+    EXPECT_TRUE(opTouchesHeap(Op::GetField));
+    EXPECT_FALSE(opTouchesHeap(Op::IAdd));
+    EXPECT_TRUE(opIsRefStore(Op::PutRef));
+    EXPECT_FALSE(opIsRefStore(Op::GetRef));
+}
+
+TEST(Verifier, AcceptsValidProgram)
+{
+    const Program p = makeProgram([](Program &prog) {
+        MethodBuilder mb(prog, "main", 0);
+        const auto r = mb.constant(7);
+        prog.entry = mb.finishRet(r);
+    });
+    EXPECT_TRUE(p.verify().empty());
+}
+
+TEST(Verifier, RejectsBadRegister)
+{
+    const Program p = makeProgram([](Program &prog) {
+        MethodBuilder mb(prog, "main", 0);
+        mb.emit(Op::IAdd, 200, 0, 0); // out of range
+        prog.entry = mb.finishRet(0);
+    });
+    EXPECT_FALSE(p.verify().empty());
+}
+
+TEST(Verifier, RejectsBadBranchTarget)
+{
+    const Program p = makeProgram([](Program &prog) {
+        MethodBuilder mb(prog, "main", 0);
+        mb.emit(Op::Goto, 999);
+        prog.entry = mb.finishRet(mb.ireg());
+    });
+    EXPECT_FALSE(p.verify().empty());
+}
+
+TEST(Verifier, RejectsMissingTerminator)
+{
+    Program p = makeProgram([](Program &prog) {
+        MethodInfo m;
+        m.id = 0;
+        m.name = "noret";
+        m.holder = 0;
+        m.code.push_back({Op::Nop, 0, 0, 0, 0});
+        prog.methods.push_back(m);
+        prog.entry = 0;
+    });
+    const auto errors = p.verify();
+    ASSERT_FALSE(errors.empty());
+    EXPECT_NE(errors[0].find("lacks ret/halt"), std::string::npos);
+}
+
+TEST(Verifier, RejectsNewOfArrayClass)
+{
+    const Program p = makeProgram([](Program &prog) {
+        MethodBuilder mb(prog, "main", 0);
+        mb.emit(Op::New, mb.rreg(), 1); // class 1 is Object[]
+        prog.entry = mb.finishRet(mb.ireg());
+    });
+    EXPECT_FALSE(p.verify().empty());
+}
+
+TEST(Verifier, RejectsCallArityOverflow)
+{
+    const Program p = makeProgram([](Program &prog) {
+        MethodBuilder callee(prog, "callee", 0, 4, 0);
+        callee.finishRet(0);
+        MethodBuilder mb(prog, "main", 0);
+        // Caller has few registers; arg window falls outside.
+        mb.emit(Op::Call, mb.ireg(), 0, 250, 0);
+        prog.entry = mb.finishRet(mb.ireg());
+    });
+    EXPECT_FALSE(p.verify().empty());
+}
+
+TEST(Interpreter, Arithmetic)
+{
+    const Program p = makeProgram([](Program &prog) {
+        MethodBuilder mb(prog, "main", 0);
+        const auto a = mb.constant(21);
+        const auto b = mb.constant(4);
+        const auto r = mb.ireg();
+        mb.emit(Op::IMul, r, a, b);  // 84
+        mb.emit(Op::ISub, r, r, b);  // 80
+        mb.emit(Op::IDiv, r, r, b);  // 20
+        mb.emit(Op::IXor, r, r, b);  // 16
+        prog.entry = mb.finishRet(r);
+    });
+    EXPECT_EQ(runProgram(p), 16);
+}
+
+TEST(Interpreter, DivideByZeroYieldsZero)
+{
+    const Program p = makeProgram([](Program &prog) {
+        MethodBuilder mb(prog, "main", 0);
+        const auto a = mb.constant(5);
+        const auto z = mb.constant(0);
+        const auto r = mb.ireg();
+        mb.emit(Op::IDiv, r, a, z);
+        const auto r2 = mb.ireg();
+        mb.emit(Op::IRem, r2, a, z);
+        mb.emit(Op::IAdd, r, r, r2);
+        prog.entry = mb.finishRet(r);
+    });
+    EXPECT_EQ(runProgram(p), 0);
+}
+
+TEST(Interpreter, LoopSum)
+{
+    // sum of 0..99 = 4950
+    const Program p = makeProgram([](Program &prog) {
+        MethodBuilder mb(prog, "main", 0);
+        const auto i = mb.ireg();
+        const auto sum = mb.ireg();
+        const auto one = mb.constant(1);
+        const auto n = mb.constant(100);
+        mb.emit(Op::IConst, i, 0);
+        mb.emit(Op::IConst, sum, 0);
+        const auto loop = mb.here();
+        const auto exit = mb.emit(Op::IfGe, i, n, 0);
+        mb.emit(Op::IAdd, sum, sum, i);
+        mb.emit(Op::IAdd, i, i, one);
+        mb.emit(Op::Goto, static_cast<std::int32_t>(loop));
+        mb.patchTarget(exit, mb.here());
+        prog.entry = mb.finishRet(sum);
+    });
+    EXPECT_EQ(runProgram(p), 4950);
+}
+
+TEST(Interpreter, CallPassesArgsAndReturns)
+{
+    const Program p = makeProgram([](Program &prog) {
+        MethodBuilder add(prog, "add", 0, 2, 0);
+        const auto r = add.ireg();
+        add.emit(Op::IAdd, r, 0, 1);
+        const MethodId addId = add.finishRet(r);
+
+        MethodBuilder mb(prog, "main", 0);
+        const auto x = mb.constant(30);
+        [[maybe_unused]] const auto y = mb.constant(12);
+        const auto out = mb.ireg();
+        // args in consecutive registers starting at x
+        mb.emit(Op::Call, out, static_cast<std::int32_t>(addId), x, 0);
+        prog.entry = mb.finishRet(out);
+    });
+    EXPECT_EQ(runProgram(p), 42);
+}
+
+TEST(Interpreter, RecursionAndStackOverflow)
+{
+    const Program p = makeProgram([](Program &prog) {
+        // f(n) = n == 0 ? 0 : f(n-1) + n  (runs fine for small n)
+        MethodBuilder f(prog, "f", 0, 1, 0);
+        const auto zero = f.constant(0);
+        const auto one = f.constant(1);
+        const auto r = f.ireg();
+        const auto t = f.ireg();
+        const auto recurse = f.emit(Op::IfNe, 0, zero, 0);
+        f.emit(Op::Ret, zero);
+        f.patchTarget(recurse, f.here());
+        f.emit(Op::ISub, t, 0, one);
+        f.emit(Op::Call, r, 0, t, 0); // method id 0 == itself
+        f.emit(Op::IAdd, r, r, 0);
+        const MethodId fid = f.finishRet(r);
+
+        MethodBuilder mb(prog, "main", 0);
+        const auto n = mb.constant(50);
+        const auto out = mb.ireg();
+        mb.emit(Op::Call, out, static_cast<std::int32_t>(fid), n, 0);
+        prog.entry = mb.finishRet(out);
+    });
+    EXPECT_EQ(runProgram(p), 50 * 51 / 2);
+}
+
+TEST(Interpreter, StackOverflowReported)
+{
+    const Program p = makeProgram([](Program &prog) {
+        MethodBuilder f(prog, "f", 0, 1, 0);
+        const auto r = f.ireg();
+        f.emit(Op::Call, r, 0, 0, 0); // infinite recursion
+        const MethodId fid = f.finishRet(r);
+        MethodBuilder mb(prog, "main", 0);
+        const auto out = mb.ireg();
+        mb.emit(Op::Call, out, static_cast<std::int32_t>(fid), 0, 0);
+        prog.entry = mb.finishRet(out);
+    });
+    sim::System system(sim::p6Spec());
+    JvmConfig cfg;
+    cfg.heapBytes = 256 * kKiB;
+    cfg.adaptiveOptimization = false;
+    Jvm vm(system, p, cfg);
+    const auto r = vm.run();
+    EXPECT_TRUE(r.stackOverflow);
+}
+
+TEST(Interpreter, ObjectFieldsAndArrays)
+{
+    const Program p = makeProgram([](Program &prog) {
+        MethodBuilder mb(prog, "main", 0);
+        const auto obj = mb.rreg();
+        const auto arr = mb.rreg();
+        const auto v = mb.ireg();
+        const auto idx = mb.constant(3);
+        const auto len = mb.constant(8);
+        mb.emit(Op::New, obj, 0);
+        mb.emit(Op::PutField, obj, 1, idx); // scalar field 1 = 3
+        mb.emit(Op::NewArray, arr, 2, len);
+        mb.emit(Op::GetField, v, obj, 1);
+        mb.emit(Op::PutElem, arr, idx, v);       // arr[3] = 3
+        mb.emit(Op::GetElem, v, arr, idx);       // v = 3
+        const auto alen = mb.ireg();
+        mb.emit(Op::ArrayLen, alen, arr);
+        mb.emit(Op::IAdd, v, v, alen);           // 3 + 8
+        prog.entry = mb.finishRet(v);
+    });
+    EXPECT_EQ(runProgram(p), 11);
+}
+
+TEST(Interpreter, RefGraphAndStatics)
+{
+    const Program p = makeProgram([](Program &prog) {
+        MethodBuilder mb(prog, "main", 0);
+        const auto a = mb.rreg();
+        const auto b = mb.rreg();
+        const auto c = mb.rreg();
+        const auto v = mb.constant(5);
+        mb.emit(Op::New, a, 0);
+        mb.emit(Op::New, b, 0);
+        mb.emit(Op::PutField, b, 0, v);
+        mb.emit(Op::PutRef, a, 0, b);
+        mb.emit(Op::PutStatic, 2, a);
+        mb.emit(Op::GetStatic, c, 2);
+        const auto out = mb.ireg();
+        mb.emit(Op::GetRef, c, c, 0);
+        mb.emit(Op::GetField, out, c, 0);
+        prog.entry = mb.finishRet(out);
+    });
+    EXPECT_EQ(runProgram(p), 5);
+}
+
+TEST(Interpreter, NullBranches)
+{
+    const Program p = makeProgram([](Program &prog) {
+        MethodBuilder mb(prog, "main", 0);
+        const auto r = mb.rreg();
+        const auto out = mb.ireg();
+        mb.emit(Op::IConst, out, 1);
+        const auto j1 = mb.emit(Op::IfNull, r, 0); // null: taken
+        mb.emit(Op::IConst, out, 99);
+        mb.patchTarget(j1, mb.here());
+        mb.emit(Op::New, r, 0);
+        const auto j2 = mb.emit(Op::IfNotNull, r, 0); // taken
+        mb.emit(Op::IConst, out, 98);
+        mb.patchTarget(j2, mb.here());
+        prog.entry = mb.finishRet(out);
+    });
+    EXPECT_EQ(runProgram(p), 1);
+}
+
+TEST(Interpreter, HaltStopsExecution)
+{
+    const Program p = makeProgram([](Program &prog) {
+        MethodBuilder mb(prog, "main", 0);
+        mb.emit(Op::Halt);
+        mb.emit(Op::IConst, mb.ireg(), 7); // dead
+        prog.entry = mb.finishRet(0);
+    });
+    EXPECT_EQ(runProgram(p), 0);
+}
+
+TEST(Interpreter, OutOfMemoryReported)
+{
+    const Program p = makeProgram([](Program &prog) {
+        // Allocate nodes forever, keeping all of them in a static list.
+        MethodBuilder mb(prog, "main", 0);
+        const auto node = mb.rreg();
+        const auto head = mb.rreg();
+        const auto loop = mb.here();
+        mb.emit(Op::New, node, 0);
+        mb.emit(Op::GetStatic, head, 0);
+        const auto skip = mb.emit(Op::IfNull, head, 0);
+        mb.emit(Op::PutRef, node, 0, head);
+        mb.patchTarget(skip, mb.here());
+        mb.emit(Op::PutStatic, 0, node);
+        mb.emit(Op::Goto, static_cast<std::int32_t>(loop));
+        prog.entry = mb.finishHalt();
+    });
+    sim::System system(sim::p6Spec());
+    JvmConfig cfg;
+    cfg.heapBytes = 256 * kKiB;
+    cfg.adaptiveOptimization = false;
+    Jvm vm(system, p, cfg);
+    const auto r = vm.run();
+    EXPECT_TRUE(r.outOfMemory);
+}
+
+TEST(Interpreter, RandIsDeterministic)
+{
+    const auto build = [](Program &prog) {
+        MethodBuilder mb(prog, "main", 0);
+        const auto bound = mb.constant(1000);
+        const auto r = mb.ireg();
+        const auto sum = mb.ireg();
+        const auto i = mb.ireg();
+        const auto one = mb.constant(1);
+        const auto n = mb.constant(50);
+        mb.emit(Op::IConst, sum, 0);
+        mb.emit(Op::IConst, i, 0);
+        const auto loop = mb.here();
+        const auto exit = mb.emit(Op::IfGe, i, n, 0);
+        mb.emit(Op::Rand, r, bound);
+        mb.emit(Op::IAdd, sum, sum, r);
+        mb.emit(Op::IAdd, i, i, one);
+        mb.emit(Op::Goto, static_cast<std::int32_t>(loop));
+        mb.patchTarget(exit, mb.here());
+        prog.entry = mb.finishRet(sum);
+    };
+    const Program p1 = makeProgram(build);
+    const Program p2 = makeProgram(build);
+    EXPECT_EQ(runProgram(p1), runProgram(p2));
+}
+
+/**
+ * The differential property: execution semantics are identical across
+ * tiers (only the cost model differs) and across collectors (GC must
+ * be transparent).
+ */
+class TierDifferential : public testing::TestWithParam<Tier>
+{
+};
+
+TEST_P(TierDifferential, GcChurnProgramSameResult)
+{
+    // A program that allocates, links, drops and traverses under GC
+    // pressure — sensitive to any semantic divergence between tiers.
+    const auto build = [](Program &prog) {
+        MethodBuilder mb(prog, "main", 0);
+        const auto node = mb.rreg();
+        const auto head = mb.rreg();
+        const auto i = mb.ireg();
+        const auto v = mb.ireg();
+        const auto sum = mb.ireg();
+        const auto one = mb.constant(1);
+        const auto n = mb.constant(4000);
+        const auto seven = mb.constant(7);
+        const auto t = mb.ireg();
+        mb.emit(Op::IConst, i, 0);
+        mb.emit(Op::IConst, sum, 0);
+        const auto loop = mb.here();
+        const auto exit = mb.emit(Op::IfGe, i, n, 0);
+        mb.emit(Op::New, node, 0);
+        mb.emit(Op::PutField, node, 0, i);
+        mb.emit(Op::GetStatic, head, 1);
+        const auto skip = mb.emit(Op::IfNull, head, 0);
+        mb.emit(Op::PutRef, node, 0, head);
+        mb.emit(Op::GetField, v, head, 0);
+        mb.emit(Op::IAdd, sum, sum, v);
+        mb.patchTarget(skip, mb.here());
+        mb.emit(Op::PutStatic, 1, node);
+        // Drop the chain every 7 iterations (mass death).
+        mb.emit(Op::IRem, t, i, seven);
+        const auto keep = mb.emit(Op::IfNe, t, one, 0);
+        const auto nullr = mb.rreg();
+        mb.emit(Op::PutStatic, 1, nullr);
+        mb.patchTarget(keep, mb.here());
+        mb.emit(Op::IAdd, i, i, one);
+        mb.emit(Op::Goto, static_cast<std::int32_t>(loop));
+        mb.patchTarget(exit, mb.here());
+        prog.entry = mb.finishRet(sum);
+    };
+
+    const Program base = makeProgram(build);
+    const std::int64_t expected =
+        runProgram(base, CollectorKind::SemiSpace, Tier::Interpreted,
+                   256 * kKiB);
+
+    for (const auto kind :
+         {CollectorKind::SemiSpace, CollectorKind::MarkSweep,
+          CollectorKind::GenCopy, CollectorKind::GenMS,
+          CollectorKind::IncrementalMS}) {
+        const Program p = makeProgram(build);
+        EXPECT_EQ(runProgram(p, kind, GetParam(), 256 * kKiB), expected)
+            << "collector " << collectorName(kind) << " tier "
+            << tierName(GetParam());
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTiers, TierDifferential,
+                         testing::Values(Tier::Interpreted, Tier::Baseline,
+                                         Tier::Jitted),
+                         [](const testing::TestParamInfo<Tier> &info) {
+                             return tierName(info.param);
+                         });
+
+TEST(Tiers, CompiledCodeIsFasterThanInterpreted)
+{
+    const auto build = [](Program &prog) {
+        MethodBuilder mb(prog, "main", 0);
+        const auto i = mb.ireg();
+        const auto sum = mb.ireg();
+        const auto one = mb.constant(1);
+        const auto n = mb.constant(100000);
+        mb.emit(Op::IConst, i, 0);
+        const auto loop = mb.here();
+        const auto exit = mb.emit(Op::IfGe, i, n, 0);
+        mb.emit(Op::IAdd, sum, sum, i);
+        mb.emit(Op::IAdd, i, i, one);
+        mb.emit(Op::Goto, static_cast<std::int32_t>(loop));
+        mb.patchTarget(exit, mb.here());
+        prog.entry = mb.finishRet(sum);
+    };
+
+    const auto timeFor = [&](Tier tier) {
+        const Program p = makeProgram(build);
+        sim::System system(sim::p6Spec());
+        JvmConfig cfg;
+        cfg.heapBytes = 256 * kKiB;
+        cfg.interp.compileOnInvoke = tier;
+        cfg.adaptiveOptimization = false;
+        Jvm vm(system, p, cfg);
+        vm.run();
+        return system.cpu().now();
+    };
+
+    const Tick interp = timeFor(Tier::Interpreted);
+    const Tick baseline = timeFor(Tier::Baseline);
+    const Tick jitted = timeFor(Tier::Jitted);
+    EXPECT_LT(baseline, interp / 2);  // baseline much faster
+    EXPECT_LT(baseline, jitted);      // Kaffe JIT slower than Jikes base
+    EXPECT_LT(jitted, interp);        // but better than interpreting
+}

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Tests for trace CSV export/import round-trips.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/trace_io.hh"
+
+using namespace javelin;
+using namespace javelin::core;
+
+namespace {
+
+PowerTrace
+sampleTrace()
+{
+    PowerTrace t;
+    for (int i = 0; i < 5; ++i) {
+        PowerSample s;
+        s.tick = static_cast<Tick>(i) * 40 * kTicksPerMicro;
+        s.cpuWatts = 10.0 + i * 0.5;
+        s.memWatts = 0.25 + i * 0.01;
+        s.component = i % 2 ? ComponentId::Gc : ComponentId::App;
+        t.push_back(s);
+    }
+    return t;
+}
+
+} // namespace
+
+TEST(TraceIo, PowerCsvHasHeaderAndRows)
+{
+    std::ostringstream os;
+    writePowerCsv(os, sampleTrace());
+    const std::string csv = os.str();
+    EXPECT_NE(csv.find("tick,us,cpu_watts,mem_watts,component"),
+              std::string::npos);
+    EXPECT_NE(csv.find(",GC"), std::string::npos);
+    EXPECT_NE(csv.find(",App"), std::string::npos);
+    // 1 header + 5 data rows
+    EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 6);
+}
+
+TEST(TraceIo, PowerRoundTrip)
+{
+    const PowerTrace original = sampleTrace();
+    std::stringstream ss;
+    writePowerCsv(ss, original);
+    const PowerTrace back = readPowerCsv(ss);
+    ASSERT_EQ(back.size(), original.size());
+    for (std::size_t i = 0; i < back.size(); ++i) {
+        EXPECT_EQ(back[i].tick, original[i].tick);
+        EXPECT_NEAR(back[i].cpuWatts, original[i].cpuWatts, 1e-9);
+        EXPECT_NEAR(back[i].memWatts, original[i].memWatts, 1e-9);
+        EXPECT_EQ(back[i].component, original[i].component);
+    }
+}
+
+TEST(TraceIo, EmptyInputYieldsEmptyTrace)
+{
+    std::istringstream is("");
+    EXPECT_TRUE(readPowerCsv(is).empty());
+}
+
+TEST(TraceIo, MissingHeaderDies)
+{
+    std::istringstream is("1,2,3,4,App\n");
+    EXPECT_EXIT(readPowerCsv(is), testing::ExitedWithCode(1),
+                "missing header");
+}
+
+TEST(TraceIo, MalformedRowDies)
+{
+    std::istringstream is("tick,us,cpu_watts,mem_watts,component\n42\n");
+    EXPECT_EXIT(readPowerCsv(is), testing::ExitedWithCode(1),
+                "power CSV");
+}
+
+TEST(TraceIo, UnknownComponentDies)
+{
+    std::istringstream is(
+        "tick,us,cpu_watts,mem_watts,component\n1,0.1,2,3,Nope\n");
+    EXPECT_EXIT(readPowerCsv(is), testing::ExitedWithCode(1),
+                "unknown component");
+}
+
+TEST(TraceIo, PerfCsvColumns)
+{
+    PerfTrace t;
+    PerfSample s;
+    s.tick = 1000;
+    s.component = ComponentId::Gc;
+    s.delta.cycles = 100;
+    s.delta.instructions = 55;
+    s.delta.l2Accesses = 10;
+    s.delta.l2Misses = 5;
+    t.push_back(s);
+
+    std::ostringstream os;
+    writePerfCsv(os, t);
+    const std::string csv = os.str();
+    EXPECT_NE(csv.find("ipc,l2_miss_rate"), std::string::npos);
+    EXPECT_NE(csv.find("GC,100,55"), std::string::npos);
+    EXPECT_NE(csv.find("0.55"), std::string::npos); // IPC
+    EXPECT_NE(csv.find("0.5"), std::string::npos);  // miss rate
+}

@@ -1,0 +1,264 @@
+/**
+ * @file
+ * Unit tests for the util library: deterministic RNG, statistics
+ * accumulators, and the table builder.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "util/logging.hh"
+#include "util/random.hh"
+#include "util/stats.hh"
+#include "util/table.hh"
+
+using namespace javelin;
+
+TEST(Rng, DeterministicAcrossInstances)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 3);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(Rng, UniformIntRespectsBound)
+{
+    Rng rng(9);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LT(rng.uniformInt(17), 17u);
+}
+
+TEST(Rng, UniformIntCoversRange)
+{
+    Rng rng(11);
+    std::vector<int> seen(8, 0);
+    for (int i = 0; i < 8000; ++i)
+        ++seen[rng.uniformInt(8)];
+    for (int count : seen)
+        EXPECT_GT(count, 700); // each bucket near 1000
+}
+
+TEST(Rng, UniformRangeInclusive)
+{
+    Rng rng(13);
+    bool sawLo = false, sawHi = false;
+    for (int i = 0; i < 5000; ++i) {
+        const auto v = rng.uniformRange(-3, 3);
+        EXPECT_GE(v, -3);
+        EXPECT_LE(v, 3);
+        sawLo |= v == -3;
+        sawHi |= v == 3;
+    }
+    EXPECT_TRUE(sawLo);
+    EXPECT_TRUE(sawHi);
+}
+
+TEST(Rng, BernoulliEdgeCases)
+{
+    Rng rng(17);
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+    int hits = 0;
+    for (int i = 0; i < 10000; ++i)
+        hits += rng.bernoulli(0.3);
+    EXPECT_NEAR(hits / 10000.0, 0.3, 0.03);
+}
+
+TEST(Rng, ExponentialMean)
+{
+    Rng rng(19);
+    double sum = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.exponential(5.0);
+    EXPECT_NEAR(sum / n, 5.0, 0.25);
+}
+
+TEST(Rng, NormalMoments)
+{
+    Rng rng(23);
+    RunningStat s;
+    for (int i = 0; i < 20000; ++i)
+        s.add(rng.normal(10.0, 2.0));
+    EXPECT_NEAR(s.mean(), 10.0, 0.1);
+    EXPECT_NEAR(s.stddev(), 2.0, 0.1);
+}
+
+TEST(Rng, SizeDrawClamped)
+{
+    Rng rng(29);
+    for (int i = 0; i < 5000; ++i) {
+        const auto v = rng.sizeDraw(64, 0.7, 16, 256);
+        EXPECT_GE(v, 16u);
+        EXPECT_LE(v, 256u);
+    }
+}
+
+TEST(Rng, SizeDrawMeanApprox)
+{
+    Rng rng(31);
+    double sum = 0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i)
+        sum += static_cast<double>(rng.sizeDraw(64, 0.5, 8, 4096));
+    EXPECT_NEAR(sum / n, 64.0, 8.0);
+}
+
+TEST(Rng, ZipfSkewsLow)
+{
+    Rng rng(37);
+    std::uint64_t low = 0, high = 0;
+    for (int i = 0; i < 10000; ++i) {
+        const auto v = rng.zipf(100, 1.2);
+        EXPECT_LT(v, 100u);
+        if (v < 10)
+            ++low;
+        else if (v >= 50)
+            ++high;
+    }
+    EXPECT_GT(low, high * 2);
+}
+
+TEST(Rng, ForkIndependent)
+{
+    Rng a(5);
+    Rng b = a.fork();
+    EXPECT_NE(a.next(), b.next());
+}
+
+TEST(RunningStat, Basics)
+{
+    RunningStat s;
+    EXPECT_EQ(s.count(), 0u);
+    s.add(1.0);
+    s.add(2.0);
+    s.add(3.0);
+    EXPECT_EQ(s.count(), 3u);
+    EXPECT_DOUBLE_EQ(s.mean(), 2.0);
+    EXPECT_DOUBLE_EQ(s.min(), 1.0);
+    EXPECT_DOUBLE_EQ(s.max(), 3.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 1.0);
+    EXPECT_DOUBLE_EQ(s.sum(), 6.0);
+}
+
+TEST(RunningStat, MergeMatchesCombined)
+{
+    Rng rng(41);
+    RunningStat a, b, all;
+    for (int i = 0; i < 500; ++i) {
+        const double x = rng.normal(0, 1);
+        a.add(x);
+        all.add(x);
+    }
+    for (int i = 0; i < 300; ++i) {
+        const double x = rng.normal(5, 2);
+        b.add(x);
+        all.add(x);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), all.count());
+    EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+    EXPECT_NEAR(a.variance(), all.variance(), 1e-6);
+    EXPECT_DOUBLE_EQ(a.min(), all.min());
+    EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStat, MergeEmpty)
+{
+    RunningStat a, b;
+    a.add(2.0);
+    a.merge(b);
+    EXPECT_EQ(a.count(), 1u);
+    b.merge(a);
+    EXPECT_EQ(b.count(), 1u);
+    EXPECT_DOUBLE_EQ(b.mean(), 2.0);
+}
+
+TEST(Histogram, BinningAndPercentiles)
+{
+    Histogram h(0.0, 10.0, 10);
+    for (int i = 0; i < 100; ++i)
+        h.add(i % 10 + 0.5);
+    EXPECT_EQ(h.total(), 100u);
+    EXPECT_EQ(h.underflow(), 0u);
+    EXPECT_EQ(h.overflow(), 0u);
+    for (std::size_t b = 0; b < 10; ++b)
+        EXPECT_EQ(h.binCount(b), 10u);
+    EXPECT_NEAR(h.percentile(0.5), 5.0, 1.1);
+}
+
+TEST(Histogram, OutOfRange)
+{
+    Histogram h(0.0, 1.0, 4);
+    h.add(-1.0);
+    h.add(2.0);
+    EXPECT_EQ(h.underflow(), 1u);
+    EXPECT_EQ(h.overflow(), 1u);
+    EXPECT_EQ(h.total(), 2u);
+}
+
+TEST(Table, BuildAndFormat)
+{
+    Table t({"name", "value"});
+    t.beginRow();
+    t.cell("alpha").cell(static_cast<std::int64_t>(42));
+    t.beginRow();
+    t.cell("beta").cell(2.5, 1);
+    EXPECT_EQ(t.rows(), 2u);
+    EXPECT_EQ(t.at(0, 0), "alpha");
+    EXPECT_EQ(t.at(0, 1), "42");
+    EXPECT_EQ(t.at(1, 1), "2.5");
+
+    std::ostringstream os;
+    t.print(os);
+    EXPECT_NE(os.str().find("alpha"), std::string::npos);
+
+    std::ostringstream csv;
+    t.printCsv(csv);
+    EXPECT_NE(csv.str().find("beta,2.5"), std::string::npos);
+}
+
+TEST(Table, PercentCell)
+{
+    Table t({"p"});
+    t.beginRow();
+    t.cellPct(0.1234, 1);
+    EXPECT_EQ(t.at(0, 0), "12.3%");
+}
+
+TEST(LoggingDeath, PanicAborts)
+{
+    EXPECT_DEATH(JAVELIN_PANIC("boom ", 42), "boom 42");
+}
+
+TEST(LoggingDeath, AssertAborts)
+{
+    EXPECT_DEATH(JAVELIN_ASSERT(1 == 2, "math broke"), "math broke");
+}
+
+TEST(LoggingDeath, FatalExits)
+{
+    EXPECT_EXIT(JAVELIN_FATAL("bad config"),
+                testing::ExitedWithCode(1), "bad config");
+}
