@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_dvfs.dir/abl_dvfs.cpp.o"
+  "CMakeFiles/abl_dvfs.dir/abl_dvfs.cpp.o.d"
+  "abl_dvfs"
+  "abl_dvfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_dvfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_sampling_error.dir/abl_sampling_error.cpp.o"
+  "CMakeFiles/abl_sampling_error.dir/abl_sampling_error.cpp.o.d"
+  "abl_sampling_error"
+  "abl_sampling_error.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_sampling_error.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

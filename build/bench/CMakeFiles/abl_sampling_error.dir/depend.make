@@ -1,0 +1,2 @@
+# Empty dependencies file for abl_sampling_error.
+# This may be replaced when dependencies are built.

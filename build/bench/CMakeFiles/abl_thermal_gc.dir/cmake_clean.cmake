@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_thermal_gc.dir/abl_thermal_gc.cpp.o"
+  "CMakeFiles/abl_thermal_gc.dir/abl_thermal_gc.cpp.o.d"
+  "abl_thermal_gc"
+  "abl_thermal_gc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_thermal_gc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

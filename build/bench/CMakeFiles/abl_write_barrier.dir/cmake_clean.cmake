@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_write_barrier.dir/abl_write_barrier.cpp.o"
+  "CMakeFiles/abl_write_barrier.dir/abl_write_barrier.cpp.o.d"
+  "abl_write_barrier"
+  "abl_write_barrier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_write_barrier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for abl_write_barrier.
+# This may be replaced when dependencies are built.

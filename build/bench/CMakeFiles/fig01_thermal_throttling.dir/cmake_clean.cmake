@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_thermal_throttling.dir/fig01_thermal_throttling.cpp.o"
+  "CMakeFiles/fig01_thermal_throttling.dir/fig01_thermal_throttling.cpp.o.d"
+  "fig01_thermal_throttling"
+  "fig01_thermal_throttling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_thermal_throttling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

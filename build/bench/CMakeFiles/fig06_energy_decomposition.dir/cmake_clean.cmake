@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_energy_decomposition.dir/fig06_energy_decomposition.cpp.o"
+  "CMakeFiles/fig06_energy_decomposition.dir/fig06_energy_decomposition.cpp.o.d"
+  "fig06_energy_decomposition"
+  "fig06_energy_decomposition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_energy_decomposition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_edp_collectors.dir/fig07_edp_collectors.cpp.o"
+  "CMakeFiles/fig07_edp_collectors.dir/fig07_edp_collectors.cpp.o.d"
+  "fig07_edp_collectors"
+  "fig07_edp_collectors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_edp_collectors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig07_edp_collectors.
+# This may be replaced when dependencies are built.

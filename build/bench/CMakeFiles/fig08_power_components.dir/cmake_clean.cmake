@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_power_components.dir/fig08_power_components.cpp.o"
+  "CMakeFiles/fig08_power_components.dir/fig08_power_components.cpp.o.d"
+  "fig08_power_components"
+  "fig08_power_components.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_power_components.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

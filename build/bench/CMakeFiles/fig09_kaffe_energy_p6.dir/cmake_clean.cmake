@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_kaffe_energy_p6.dir/fig09_kaffe_energy_p6.cpp.o"
+  "CMakeFiles/fig09_kaffe_energy_p6.dir/fig09_kaffe_energy_p6.cpp.o.d"
+  "fig09_kaffe_energy_p6"
+  "fig09_kaffe_energy_p6.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_kaffe_energy_p6.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

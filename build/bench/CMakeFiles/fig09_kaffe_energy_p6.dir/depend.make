@@ -1,0 +1,2 @@
+# Empty dependencies file for fig09_kaffe_energy_p6.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_kaffe_edp_p6.dir/fig10_kaffe_edp_p6.cpp.o"
+  "CMakeFiles/fig10_kaffe_edp_p6.dir/fig10_kaffe_edp_p6.cpp.o.d"
+  "fig10_kaffe_edp_p6"
+  "fig10_kaffe_edp_p6.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_kaffe_edp_p6.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig10_kaffe_edp_p6.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig10_kaffe_edp_p6.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_kaffe_energy_pxa255.dir/fig11_kaffe_energy_pxa255.cpp.o"
+  "CMakeFiles/fig11_kaffe_energy_pxa255.dir/fig11_kaffe_energy_pxa255.cpp.o.d"
+  "fig11_kaffe_energy_pxa255"
+  "fig11_kaffe_energy_pxa255.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_kaffe_energy_pxa255.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

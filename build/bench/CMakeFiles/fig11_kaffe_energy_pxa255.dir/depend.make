@@ -1,0 +1,2 @@
+# Empty dependencies file for fig11_kaffe_energy_pxa255.
+# This may be replaced when dependencies are built.

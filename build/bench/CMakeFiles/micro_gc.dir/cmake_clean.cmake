@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_gc.dir/micro_gc.cpp.o"
+  "CMakeFiles/micro_gc.dir/micro_gc.cpp.o.d"
+  "micro_gc"
+  "micro_gc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_gc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

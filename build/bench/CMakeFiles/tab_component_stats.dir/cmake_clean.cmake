@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_component_stats.dir/tab_component_stats.cpp.o"
+  "CMakeFiles/tab_component_stats.dir/tab_component_stats.cpp.o.d"
+  "tab_component_stats"
+  "tab_component_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_component_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/embedded_profile.cpp" "examples/CMakeFiles/embedded_profile.dir/embedded_profile.cpp.o" "gcc" "examples/CMakeFiles/embedded_profile.dir/embedded_profile.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/javelin_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/javelin_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/jvm/CMakeFiles/javelin_jvm.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/javelin_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/javelin_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/javelin_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/embedded_profile.dir/embedded_profile.cpp.o"
+  "CMakeFiles/embedded_profile.dir/embedded_profile.cpp.o.d"
+  "embedded_profile"
+  "embedded_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/embedded_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

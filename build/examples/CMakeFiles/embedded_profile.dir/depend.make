@@ -1,0 +1,2 @@
+# Empty dependencies file for embedded_profile.
+# This may be replaced when dependencies are built.

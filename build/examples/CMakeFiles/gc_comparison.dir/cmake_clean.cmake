@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gc_comparison.dir/gc_comparison.cpp.o"
+  "CMakeFiles/gc_comparison.dir/gc_comparison.cpp.o.d"
+  "gc_comparison"
+  "gc_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gc_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/power_trace.dir/power_trace.cpp.o"
+  "CMakeFiles/power_trace.dir/power_trace.cpp.o.d"
+  "power_trace"
+  "power_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/power_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/thermal_study.dir/thermal_study.cpp.o"
+  "CMakeFiles/thermal_study.dir/thermal_study.cpp.o.d"
+  "thermal_study"
+  "thermal_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/thermal_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/attribution.cc" "src/core/CMakeFiles/javelin_core.dir/attribution.cc.o" "gcc" "src/core/CMakeFiles/javelin_core.dir/attribution.cc.o.d"
+  "/root/repo/src/core/component.cc" "src/core/CMakeFiles/javelin_core.dir/component.cc.o" "gcc" "src/core/CMakeFiles/javelin_core.dir/component.cc.o.d"
+  "/root/repo/src/core/component_port.cc" "src/core/CMakeFiles/javelin_core.dir/component_port.cc.o" "gcc" "src/core/CMakeFiles/javelin_core.dir/component_port.cc.o.d"
+  "/root/repo/src/core/daq.cc" "src/core/CMakeFiles/javelin_core.dir/daq.cc.o" "gcc" "src/core/CMakeFiles/javelin_core.dir/daq.cc.o.d"
+  "/root/repo/src/core/energy_accounting.cc" "src/core/CMakeFiles/javelin_core.dir/energy_accounting.cc.o" "gcc" "src/core/CMakeFiles/javelin_core.dir/energy_accounting.cc.o.d"
+  "/root/repo/src/core/ground_truth.cc" "src/core/CMakeFiles/javelin_core.dir/ground_truth.cc.o" "gcc" "src/core/CMakeFiles/javelin_core.dir/ground_truth.cc.o.d"
+  "/root/repo/src/core/hpm_sampler.cc" "src/core/CMakeFiles/javelin_core.dir/hpm_sampler.cc.o" "gcc" "src/core/CMakeFiles/javelin_core.dir/hpm_sampler.cc.o.d"
+  "/root/repo/src/core/sense_resistor.cc" "src/core/CMakeFiles/javelin_core.dir/sense_resistor.cc.o" "gcc" "src/core/CMakeFiles/javelin_core.dir/sense_resistor.cc.o.d"
+  "/root/repo/src/core/trace_io.cc" "src/core/CMakeFiles/javelin_core.dir/trace_io.cc.o" "gcc" "src/core/CMakeFiles/javelin_core.dir/trace_io.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/javelin_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/javelin_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

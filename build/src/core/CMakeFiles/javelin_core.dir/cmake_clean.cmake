@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/javelin_core.dir/attribution.cc.o"
+  "CMakeFiles/javelin_core.dir/attribution.cc.o.d"
+  "CMakeFiles/javelin_core.dir/component.cc.o"
+  "CMakeFiles/javelin_core.dir/component.cc.o.d"
+  "CMakeFiles/javelin_core.dir/component_port.cc.o"
+  "CMakeFiles/javelin_core.dir/component_port.cc.o.d"
+  "CMakeFiles/javelin_core.dir/daq.cc.o"
+  "CMakeFiles/javelin_core.dir/daq.cc.o.d"
+  "CMakeFiles/javelin_core.dir/energy_accounting.cc.o"
+  "CMakeFiles/javelin_core.dir/energy_accounting.cc.o.d"
+  "CMakeFiles/javelin_core.dir/ground_truth.cc.o"
+  "CMakeFiles/javelin_core.dir/ground_truth.cc.o.d"
+  "CMakeFiles/javelin_core.dir/hpm_sampler.cc.o"
+  "CMakeFiles/javelin_core.dir/hpm_sampler.cc.o.d"
+  "CMakeFiles/javelin_core.dir/sense_resistor.cc.o"
+  "CMakeFiles/javelin_core.dir/sense_resistor.cc.o.d"
+  "CMakeFiles/javelin_core.dir/trace_io.cc.o"
+  "CMakeFiles/javelin_core.dir/trace_io.cc.o.d"
+  "libjavelin_core.a"
+  "libjavelin_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/javelin_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/javelin_harness.dir/experiment.cc.o"
+  "CMakeFiles/javelin_harness.dir/experiment.cc.o.d"
+  "CMakeFiles/javelin_harness.dir/report.cc.o"
+  "CMakeFiles/javelin_harness.dir/report.cc.o.d"
+  "libjavelin_harness.a"
+  "libjavelin_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/javelin_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

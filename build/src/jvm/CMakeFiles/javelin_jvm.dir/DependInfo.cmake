@@ -1,0 +1,39 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/jvm/bytecode.cc" "src/jvm/CMakeFiles/javelin_jvm.dir/bytecode.cc.o" "gcc" "src/jvm/CMakeFiles/javelin_jvm.dir/bytecode.cc.o.d"
+  "/root/repo/src/jvm/classloader.cc" "src/jvm/CMakeFiles/javelin_jvm.dir/classloader.cc.o" "gcc" "src/jvm/CMakeFiles/javelin_jvm.dir/classloader.cc.o.d"
+  "/root/repo/src/jvm/compilers.cc" "src/jvm/CMakeFiles/javelin_jvm.dir/compilers.cc.o" "gcc" "src/jvm/CMakeFiles/javelin_jvm.dir/compilers.cc.o.d"
+  "/root/repo/src/jvm/freelist.cc" "src/jvm/CMakeFiles/javelin_jvm.dir/freelist.cc.o" "gcc" "src/jvm/CMakeFiles/javelin_jvm.dir/freelist.cc.o.d"
+  "/root/repo/src/jvm/gc/collector.cc" "src/jvm/CMakeFiles/javelin_jvm.dir/gc/collector.cc.o" "gcc" "src/jvm/CMakeFiles/javelin_jvm.dir/gc/collector.cc.o.d"
+  "/root/repo/src/jvm/gc/evacuator.cc" "src/jvm/CMakeFiles/javelin_jvm.dir/gc/evacuator.cc.o" "gcc" "src/jvm/CMakeFiles/javelin_jvm.dir/gc/evacuator.cc.o.d"
+  "/root/repo/src/jvm/gc/gencopy.cc" "src/jvm/CMakeFiles/javelin_jvm.dir/gc/gencopy.cc.o" "gcc" "src/jvm/CMakeFiles/javelin_jvm.dir/gc/gencopy.cc.o.d"
+  "/root/repo/src/jvm/gc/genms.cc" "src/jvm/CMakeFiles/javelin_jvm.dir/gc/genms.cc.o" "gcc" "src/jvm/CMakeFiles/javelin_jvm.dir/gc/genms.cc.o.d"
+  "/root/repo/src/jvm/gc/incremental_ms.cc" "src/jvm/CMakeFiles/javelin_jvm.dir/gc/incremental_ms.cc.o" "gcc" "src/jvm/CMakeFiles/javelin_jvm.dir/gc/incremental_ms.cc.o.d"
+  "/root/repo/src/jvm/gc/marker.cc" "src/jvm/CMakeFiles/javelin_jvm.dir/gc/marker.cc.o" "gcc" "src/jvm/CMakeFiles/javelin_jvm.dir/gc/marker.cc.o.d"
+  "/root/repo/src/jvm/gc/marksweep.cc" "src/jvm/CMakeFiles/javelin_jvm.dir/gc/marksweep.cc.o" "gcc" "src/jvm/CMakeFiles/javelin_jvm.dir/gc/marksweep.cc.o.d"
+  "/root/repo/src/jvm/gc/remset.cc" "src/jvm/CMakeFiles/javelin_jvm.dir/gc/remset.cc.o" "gcc" "src/jvm/CMakeFiles/javelin_jvm.dir/gc/remset.cc.o.d"
+  "/root/repo/src/jvm/gc/semispace.cc" "src/jvm/CMakeFiles/javelin_jvm.dir/gc/semispace.cc.o" "gcc" "src/jvm/CMakeFiles/javelin_jvm.dir/gc/semispace.cc.o.d"
+  "/root/repo/src/jvm/heap.cc" "src/jvm/CMakeFiles/javelin_jvm.dir/heap.cc.o" "gcc" "src/jvm/CMakeFiles/javelin_jvm.dir/heap.cc.o.d"
+  "/root/repo/src/jvm/interpreter.cc" "src/jvm/CMakeFiles/javelin_jvm.dir/interpreter.cc.o" "gcc" "src/jvm/CMakeFiles/javelin_jvm.dir/interpreter.cc.o.d"
+  "/root/repo/src/jvm/jvm.cc" "src/jvm/CMakeFiles/javelin_jvm.dir/jvm.cc.o" "gcc" "src/jvm/CMakeFiles/javelin_jvm.dir/jvm.cc.o.d"
+  "/root/repo/src/jvm/object_model.cc" "src/jvm/CMakeFiles/javelin_jvm.dir/object_model.cc.o" "gcc" "src/jvm/CMakeFiles/javelin_jvm.dir/object_model.cc.o.d"
+  "/root/repo/src/jvm/program.cc" "src/jvm/CMakeFiles/javelin_jvm.dir/program.cc.o" "gcc" "src/jvm/CMakeFiles/javelin_jvm.dir/program.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/javelin_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/javelin_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/javelin_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

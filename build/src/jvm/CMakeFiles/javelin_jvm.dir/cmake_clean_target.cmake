@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libjavelin_jvm.a"
+)

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/cache.cc" "src/sim/CMakeFiles/javelin_sim.dir/cache.cc.o" "gcc" "src/sim/CMakeFiles/javelin_sim.dir/cache.cc.o.d"
+  "/root/repo/src/sim/cpu_model.cc" "src/sim/CMakeFiles/javelin_sim.dir/cpu_model.cc.o" "gcc" "src/sim/CMakeFiles/javelin_sim.dir/cpu_model.cc.o.d"
+  "/root/repo/src/sim/memory_hierarchy.cc" "src/sim/CMakeFiles/javelin_sim.dir/memory_hierarchy.cc.o" "gcc" "src/sim/CMakeFiles/javelin_sim.dir/memory_hierarchy.cc.o.d"
+  "/root/repo/src/sim/memory_power.cc" "src/sim/CMakeFiles/javelin_sim.dir/memory_power.cc.o" "gcc" "src/sim/CMakeFiles/javelin_sim.dir/memory_power.cc.o.d"
+  "/root/repo/src/sim/perf_counters.cc" "src/sim/CMakeFiles/javelin_sim.dir/perf_counters.cc.o" "gcc" "src/sim/CMakeFiles/javelin_sim.dir/perf_counters.cc.o.d"
+  "/root/repo/src/sim/platform.cc" "src/sim/CMakeFiles/javelin_sim.dir/platform.cc.o" "gcc" "src/sim/CMakeFiles/javelin_sim.dir/platform.cc.o.d"
+  "/root/repo/src/sim/power_model.cc" "src/sim/CMakeFiles/javelin_sim.dir/power_model.cc.o" "gcc" "src/sim/CMakeFiles/javelin_sim.dir/power_model.cc.o.d"
+  "/root/repo/src/sim/system.cc" "src/sim/CMakeFiles/javelin_sim.dir/system.cc.o" "gcc" "src/sim/CMakeFiles/javelin_sim.dir/system.cc.o.d"
+  "/root/repo/src/sim/thermal.cc" "src/sim/CMakeFiles/javelin_sim.dir/thermal.cc.o" "gcc" "src/sim/CMakeFiles/javelin_sim.dir/thermal.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/javelin_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

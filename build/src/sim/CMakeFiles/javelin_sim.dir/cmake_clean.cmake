@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/javelin_sim.dir/cache.cc.o"
+  "CMakeFiles/javelin_sim.dir/cache.cc.o.d"
+  "CMakeFiles/javelin_sim.dir/cpu_model.cc.o"
+  "CMakeFiles/javelin_sim.dir/cpu_model.cc.o.d"
+  "CMakeFiles/javelin_sim.dir/memory_hierarchy.cc.o"
+  "CMakeFiles/javelin_sim.dir/memory_hierarchy.cc.o.d"
+  "CMakeFiles/javelin_sim.dir/memory_power.cc.o"
+  "CMakeFiles/javelin_sim.dir/memory_power.cc.o.d"
+  "CMakeFiles/javelin_sim.dir/perf_counters.cc.o"
+  "CMakeFiles/javelin_sim.dir/perf_counters.cc.o.d"
+  "CMakeFiles/javelin_sim.dir/platform.cc.o"
+  "CMakeFiles/javelin_sim.dir/platform.cc.o.d"
+  "CMakeFiles/javelin_sim.dir/power_model.cc.o"
+  "CMakeFiles/javelin_sim.dir/power_model.cc.o.d"
+  "CMakeFiles/javelin_sim.dir/system.cc.o"
+  "CMakeFiles/javelin_sim.dir/system.cc.o.d"
+  "CMakeFiles/javelin_sim.dir/thermal.cc.o"
+  "CMakeFiles/javelin_sim.dir/thermal.cc.o.d"
+  "libjavelin_sim.a"
+  "libjavelin_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/javelin_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/javelin_util.dir/logging.cc.o"
+  "CMakeFiles/javelin_util.dir/logging.cc.o.d"
+  "CMakeFiles/javelin_util.dir/random.cc.o"
+  "CMakeFiles/javelin_util.dir/random.cc.o.d"
+  "CMakeFiles/javelin_util.dir/stats.cc.o"
+  "CMakeFiles/javelin_util.dir/stats.cc.o.d"
+  "CMakeFiles/javelin_util.dir/table.cc.o"
+  "CMakeFiles/javelin_util.dir/table.cc.o.d"
+  "libjavelin_util.a"
+  "libjavelin_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/javelin_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/javelin_workloads.dir/program_builder.cc.o"
+  "CMakeFiles/javelin_workloads.dir/program_builder.cc.o.d"
+  "CMakeFiles/javelin_workloads.dir/suite.cc.o"
+  "CMakeFiles/javelin_workloads.dir/suite.cc.o.d"
+  "libjavelin_workloads.a"
+  "libjavelin_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/javelin_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

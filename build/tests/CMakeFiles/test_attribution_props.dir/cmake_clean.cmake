@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_attribution_props.dir/test_attribution_props.cc.o"
+  "CMakeFiles/test_attribution_props.dir/test_attribution_props.cc.o.d"
+  "test_attribution_props"
+  "test_attribution_props.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_attribution_props.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

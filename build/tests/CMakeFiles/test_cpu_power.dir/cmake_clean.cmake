@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cpu_power.dir/test_cpu_power.cc.o"
+  "CMakeFiles/test_cpu_power.dir/test_cpu_power.cc.o.d"
+  "test_cpu_power"
+  "test_cpu_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cpu_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gc.dir/test_gc.cc.o"
+  "CMakeFiles/test_gc.dir/test_gc.cc.o.d"
+  "test_gc"
+  "test_gc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gc_advanced.dir/test_gc_advanced.cc.o"
+  "CMakeFiles/test_gc_advanced.dir/test_gc_advanced.cc.o.d"
+  "test_gc_advanced"
+  "test_gc_advanced.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gc_advanced.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

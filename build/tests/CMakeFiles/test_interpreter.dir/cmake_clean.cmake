@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_interpreter.dir/test_interpreter.cc.o"
+  "CMakeFiles/test_interpreter.dir/test_interpreter.cc.o.d"
+  "test_interpreter"
+  "test_interpreter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_interpreter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

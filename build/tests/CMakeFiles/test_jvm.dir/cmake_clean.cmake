@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_jvm.dir/test_jvm.cc.o"
+  "CMakeFiles/test_jvm.dir/test_jvm.cc.o.d"
+  "test_jvm"
+  "test_jvm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_jvm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_measurement.dir/test_measurement.cc.o"
+  "CMakeFiles/test_measurement.dir/test_measurement.cc.o.d"
+  "test_measurement"
+  "test_measurement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_measurement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_object_model.dir/test_object_model.cc.o"
+  "CMakeFiles/test_object_model.dir/test_object_model.cc.o.d"
+  "test_object_model"
+  "test_object_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_object_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_platform.dir/test_platform.cc.o"
+  "CMakeFiles/test_platform.dir/test_platform.cc.o.d"
+  "test_platform"
+  "test_platform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_platform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

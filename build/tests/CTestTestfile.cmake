@@ -1,0 +1,34 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(test_util "/root/repo/build/tests/test_util")
+set_tests_properties(test_util PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;7;javelin_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_cache "/root/repo/build/tests/test_cache")
+set_tests_properties(test_cache PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;8;javelin_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_cpu_power "/root/repo/build/tests/test_cpu_power")
+set_tests_properties(test_cpu_power PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;9;javelin_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_measurement "/root/repo/build/tests/test_measurement")
+set_tests_properties(test_measurement PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;10;javelin_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_object_model "/root/repo/build/tests/test_object_model")
+set_tests_properties(test_object_model PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;11;javelin_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_gc "/root/repo/build/tests/test_gc")
+set_tests_properties(test_gc PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;12;javelin_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_interpreter "/root/repo/build/tests/test_interpreter")
+set_tests_properties(test_interpreter PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;13;javelin_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_jvm "/root/repo/build/tests/test_jvm")
+set_tests_properties(test_jvm PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;14;javelin_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_workloads "/root/repo/build/tests/test_workloads")
+set_tests_properties(test_workloads PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;15;javelin_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_experiment "/root/repo/build/tests/test_experiment")
+set_tests_properties(test_experiment PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;16;javelin_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_gc_advanced "/root/repo/build/tests/test_gc_advanced")
+set_tests_properties(test_gc_advanced PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;17;javelin_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_platform "/root/repo/build/tests/test_platform")
+set_tests_properties(test_platform PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;18;javelin_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_trace_io "/root/repo/build/tests/test_trace_io")
+set_tests_properties(test_trace_io PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;19;javelin_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_attribution_props "/root/repo/build/tests/test_attribution_props")
+set_tests_properties(test_attribution_props PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;20;javelin_test;/root/repo/tests/CMakeLists.txt;0;")
