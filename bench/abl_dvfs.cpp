@@ -13,6 +13,7 @@
 #include <iostream>
 
 #include "harness/experiment.hh"
+#include "harness/sweep.hh"
 #include "util/table.hh"
 
 using namespace javelin;
@@ -24,17 +25,28 @@ main()
     std::cout << "=== A4: DVFS sweep, Jikes RVM + GenCopy, P6 ===\n\n";
 
     const auto spec = sim::p6Spec();
-    for (const char *name : {"_222_mpegaudio", "_213_javac"}) {
-        Table t({"point", "freq(GHz)", "volts", "time(ms)", "energy(J)",
-                 "EDP(mJ*s)"});
+    const std::vector<const char *> names = {"_222_mpegaudio",
+                                             "_213_javac"};
+    std::vector<SweepTask> tasks;
+    for (const char *name : names) {
         for (std::size_t i = 0; i < spec.dvfsPoints.size(); ++i) {
             ExperimentConfig cfg;
             cfg.collector = jvm::CollectorKind::GenCopy;
             cfg.heapNominalMB = 32;
             cfg.dvfsPoint = static_cast<int>(i);
-            const auto res =
-                runExperiment(cfg, workloads::benchmark(name));
-            if (!res.ok())
+            tasks.push_back({cfg, workloads::benchmark(name)});
+        }
+    }
+    const auto outcomes = runSweep(tasks);
+
+    std::size_t taskIdx = 0;
+    for (const char *name : names) {
+        Table t({"point", "freq(GHz)", "volts", "time(ms)", "energy(J)",
+                 "EDP(mJ*s)"});
+        for (std::size_t i = 0; i < spec.dvfsPoints.size(); ++i) {
+            const auto &outcome = outcomes[taskIdx++];
+            const auto &res = outcome.result;
+            if (!outcome.ok())
                 continue;
             t.beginRow();
             t.cell(static_cast<std::int64_t>(i));

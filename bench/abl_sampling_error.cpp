@@ -16,6 +16,7 @@
 #include <iostream>
 
 #include "harness/experiment.hh"
+#include "harness/sweep.hh"
 #include "util/table.hh"
 
 using namespace javelin;
@@ -29,14 +30,22 @@ main()
 
     Table t({"period(us)", "GC err", "App err", "total err",
              "GC samples"});
-    for (const Tick us : {5u, 10u, 20u, 40u, 80u, 160u, 320u, 640u}) {
+    const std::vector<Tick> periodsUs = {5, 10, 20, 40,
+                                         80, 160, 320, 640};
+    std::vector<SweepTask> tasks;
+    for (const Tick us : periodsUs) {
         ExperimentConfig cfg;
         cfg.collector = jvm::CollectorKind::SemiSpace;
         cfg.heapNominalMB = 32;
         cfg.daqPeriod = us * kTicksPerMicro;
-        const auto res =
-            runExperiment(cfg, workloads::benchmark("_213_javac"));
-        if (!res.ok())
+        tasks.push_back({cfg, workloads::benchmark("_213_javac")});
+    }
+    const auto outcomes = runSweep(tasks);
+
+    for (std::size_t i = 0; i < outcomes.size(); ++i) {
+        const Tick us = periodsUs[i];
+        const auto &res = outcomes[i].result;
+        if (!outcomes[i].ok())
             continue;
 
         const auto errOf = [&](core::ComponentId id) {

@@ -15,8 +15,10 @@
  */
 
 #include <iostream>
+#include <vector>
 
 #include "harness/experiment.hh"
+#include "harness/sweep.hh"
 #include "util/table.hh"
 
 using namespace javelin;
@@ -99,15 +101,26 @@ main()
     // substantial duty cycle, which is what produces cooling (for a
     // compute benchmark with an empty nursery the trigger is a no-op
     // and the policy has no effect).
-    const Outcome base = runScenario(false, 0);
+    //
+    // Each scenario simulates a private System, so the baseline and the
+    // three guard temperatures run concurrently on the sweep pool.
+    const std::vector<double> guards = {97.0, 95.0, 92.0};
+    std::vector<Outcome> outcomes(1 + guards.size());
+    SweepRunner::parallelFor(outcomes.size(), [&](std::size_t i) {
+        outcomes[i] = i == 0 ? runScenario(false, 0)
+                             : runScenario(true, guards[i - 1]);
+    });
+
+    const Outcome &base = outcomes[0];
     Table t({"policy", "peak T(C)", "throttled%", "GCs",
              "energy (rel)", "work done (rel)"});
     t.beginRow();
     t.cell("baseline").cell(base.peakC, 1).cell(base.throttledPct, 1);
     t.cell(base.collections).cell(1.0, 3).cell(1.0, 3);
 
-    for (const double guard : {97.0, 95.0, 92.0}) {
-        const Outcome o = runScenario(true, guard);
+    for (std::size_t g = 0; g < guards.size(); ++g) {
+        const double guard = guards[g];
+        const Outcome &o = outcomes[g + 1];
         t.beginRow();
         t.cell("GC @" + std::to_string(static_cast<int>(guard)) + "C");
         t.cell(o.peakC, 1);

@@ -13,6 +13,7 @@
 #include <iostream>
 
 #include "harness/experiment.hh"
+#include "harness/sweep.hh"
 #include "util/table.hh"
 
 using namespace javelin;
@@ -26,16 +27,24 @@ main()
 
     Table t({"benchmark", "time w/ barrier(ms)", "time w/o(ms)",
              "overhead", "energy overhead", "barrier hits"});
-    for (const char *name : {"_209_db", "_213_javac", "_202_jess",
-                             "pmd"}) {
+    const std::vector<const char *> names = {"_209_db", "_213_javac",
+                                             "_202_jess", "pmd"};
+    std::vector<SweepTask> tasks;
+    for (const char *name : names) {
         ExperimentConfig cfg;
         cfg.collector = jvm::CollectorKind::GenCopy;
         cfg.heapNominalMB = 128;
-        const auto with = runExperiment(cfg, workloads::benchmark(name));
+        tasks.push_back({cfg, workloads::benchmark(name)});
         cfg.chargeBarrierCost = false;
-        const auto without =
-            runExperiment(cfg, workloads::benchmark(name));
-        if (!with.ok() || !without.ok())
+        tasks.push_back({cfg, workloads::benchmark(name)});
+    }
+    const auto outcomes = runSweep(tasks);
+
+    for (std::size_t i = 0; i < names.size(); ++i) {
+        const char *name = names[i];
+        const auto &with = outcomes[2 * i].result;
+        const auto &without = outcomes[2 * i + 1].result;
+        if (!outcomes[2 * i].ok() || !outcomes[2 * i + 1].ok())
             continue;
 
         t.beginRow();

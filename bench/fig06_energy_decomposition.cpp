@@ -15,6 +15,7 @@
 
 #include "harness/experiment.hh"
 #include "harness/report.hh"
+#include "harness/sweep.hh"
 #include "util/stats.hh"
 
 using namespace javelin;
@@ -34,6 +35,7 @@ main()
     if (fast)
         benches.resize(4);
 
+    std::vector<SweepTask> tasks;
     for (const auto &bench : benches) {
         // DaCapo live sets do not fit a 32 MB copying heap (Section V):
         // their small-heap column is 48 MB, as in the paper.
@@ -44,22 +46,31 @@ main()
             cfg.vm = jvm::VmKind::Jikes;
             cfg.collector = jvm::CollectorKind::SemiSpace;
             cfg.heapNominalMB = heap;
-            const auto res = runExperiment(cfg, bench);
-            rows.push_back(res);
-            if (!res.ok())
-                continue;
-            const double gc =
-                res.attribution.energyFraction(core::ComponentId::Gc);
-            const double jvm = res.attribution.jvmEnergyFraction();
-            if (jvm > maxJvm) {
-                maxJvm = jvm;
-                maxJvmAt = bench.name + "@" + std::to_string(heap);
-            }
-            if (bench.suite == "SpecJVM98")
-                (heap == 32 ? specGcSmall : specGcBig).add(gc);
-            if (bench.suite == "DaCapo")
-                (heap == 48 ? dacapoGcSmall : dacapoGcBig).add(gc);
+            tasks.push_back({cfg, bench});
         }
+    }
+    SweepRunner::Config rc;
+    rc.progress = consoleProgress("fig06 sweep");
+    const auto outcomes = SweepRunner(rc).run(tasks);
+
+    for (const auto &outcome : outcomes) {
+        const auto &res = outcome.result;
+        const auto &bench = workloads::benchmark(res.benchmark);
+        const std::uint32_t heap = res.config.heapNominalMB;
+        rows.push_back(res);
+        if (!outcome.ok())
+            continue;
+        const double gc =
+            res.attribution.energyFraction(core::ComponentId::Gc);
+        const double jvm = res.attribution.jvmEnergyFraction();
+        if (jvm > maxJvm) {
+            maxJvm = jvm;
+            maxJvmAt = bench.name + "@" + std::to_string(heap);
+        }
+        if (bench.suite == "SpecJVM98")
+            (heap == 32 ? specGcSmall : specGcBig).add(gc);
+        if (bench.suite == "DaCapo")
+            (heap == 48 ? dacapoGcSmall : dacapoGcBig).add(gc);
     }
 
     std::cout << "=== Fig. 6: energy decomposition, Jikes RVM + "

@@ -18,6 +18,7 @@
 #include "core/energy_accounting.hh"
 #include "harness/experiment.hh"
 #include "harness/report.hh"
+#include "harness/sweep.hh"
 
 using namespace javelin;
 using namespace javelin::harness;
@@ -41,18 +42,27 @@ main()
     const std::vector<std::uint32_t> heaps(kP6HeapsMB.begin(),
                                            kP6HeapsMB.end());
 
-    std::vector<std::vector<ExperimentResult>> rows;
+    std::vector<SweepTask> tasks;
     for (const auto &bench : benches) {
         for (const auto collector : collectors) {
-            std::vector<ExperimentResult> row;
             for (const auto heap : heaps) {
                 ExperimentConfig cfg;
                 cfg.collector = collector;
                 cfg.heapNominalMB = heap;
-                row.push_back(runExperiment(cfg, bench));
+                tasks.push_back({cfg, bench});
             }
-            rows.push_back(std::move(row));
         }
+    }
+    SweepRunner::Config rc;
+    rc.progress = consoleProgress("fig07 sweep");
+    const auto outcomes = SweepRunner(rc).run(tasks);
+
+    std::vector<std::vector<ExperimentResult>> rows;
+    for (std::size_t i = 0; i < outcomes.size(); i += heaps.size()) {
+        std::vector<ExperimentResult> row;
+        for (std::size_t h = 0; h < heaps.size(); ++h)
+            row.push_back(outcomes[i + h].result);
+        rows.push_back(std::move(row));
     }
 
     std::cout << "=== Fig. 7: EDP (mJ*s at study scale) vs heap size, "

@@ -16,6 +16,7 @@
 
 #include "harness/experiment.hh"
 #include "harness/report.hh"
+#include "harness/sweep.hh"
 #include "util/stats.hh"
 
 using namespace javelin;
@@ -36,30 +37,38 @@ main()
     RunningStat appAvg, gcAvg, clAvg;
     int appSetsPeak = 0, total = 0;
 
+    std::vector<SweepTask> tasks;
     for (const auto &bench : benches) {
         for (const auto heap : heaps) {
             ExperimentConfig cfg;
             cfg.collector = jvm::CollectorKind::GenCopy;
             cfg.heapNominalMB = heap;
-            const auto res = runExperiment(cfg, bench);
-            rows.push_back(res);
-            if (!res.ok())
-                continue;
-            const auto &app =
-                res.attribution.powerOf(core::ComponentId::App);
-            const auto &gc =
-                res.attribution.powerOf(core::ComponentId::Gc);
-            const auto &cl =
-                res.attribution.powerOf(core::ComponentId::ClassLoader);
-            appAvg.add(app.avgCpuWatts());
-            if (gc.samples > 3)
-                gcAvg.add(gc.avgCpuWatts());
-            if (cl.samples > 3)
-                clAvg.add(cl.avgCpuWatts());
-            ++total;
-            appSetsPeak +=
-                app.peakCpuWatts >= res.attribution.peakCpuWatts - 1e-9;
+            tasks.push_back({cfg, bench});
         }
+    }
+    SweepRunner::Config rc;
+    rc.progress = consoleProgress("fig08 sweep");
+    const auto outcomes = SweepRunner(rc).run(tasks);
+
+    for (const auto &outcome : outcomes) {
+        const auto &res = outcome.result;
+        rows.push_back(res);
+        if (!outcome.ok())
+            continue;
+        const auto &app =
+            res.attribution.powerOf(core::ComponentId::App);
+        const auto &gc =
+            res.attribution.powerOf(core::ComponentId::Gc);
+        const auto &cl =
+            res.attribution.powerOf(core::ComponentId::ClassLoader);
+        appAvg.add(app.avgCpuWatts());
+        if (gc.samples > 3)
+            gcAvg.add(gc.avgCpuWatts());
+        if (cl.samples > 3)
+            clAvg.add(cl.avgCpuWatts());
+        ++total;
+        appSetsPeak +=
+            app.peakCpuWatts >= res.attribution.peakCpuWatts - 1e-9;
     }
 
     std::cout << "=== Fig. 8: average and peak power per component, "

@@ -14,6 +14,7 @@
 
 #include "harness/experiment.hh"
 #include "harness/report.hh"
+#include "harness/sweep.hh"
 #include "util/stats.hh"
 
 using namespace javelin;
@@ -30,14 +31,22 @@ main()
     std::vector<ExperimentResult> rows;
     RunningStat gcShare, clShare, jitShare, gcPower;
 
+    std::vector<SweepTask> tasks;
     for (const auto &bench : benches) {
         ExperimentConfig cfg;
         cfg.vm = jvm::VmKind::Kaffe;
         cfg.collector = jvm::CollectorKind::IncrementalMS;
         cfg.heapNominalMB = 64;
-        const auto res = runExperiment(cfg, bench);
+        tasks.push_back({cfg, bench});
+    }
+    SweepRunner::Config rc;
+    rc.progress = consoleProgress("fig09 sweep");
+    const auto outcomes = SweepRunner(rc).run(tasks);
+
+    for (const auto &outcome : outcomes) {
+        const auto &res = outcome.result;
         rows.push_back(res);
-        if (!res.ok())
+        if (!outcome.ok())
             continue;
         gcShare.add(res.attribution.energyFraction(core::ComponentId::Gc));
         clShare.add(res.attribution.energyFraction(

@@ -14,6 +14,7 @@
 
 #include "harness/experiment.hh"
 #include "harness/report.hh"
+#include "harness/sweep.hh"
 #include "util/stats.hh"
 
 using namespace javelin;
@@ -29,17 +30,27 @@ main()
     const std::vector<std::uint32_t> heaps(kP6HeapsMB.begin(),
                                            kP6HeapsMB.end());
 
-    std::vector<std::vector<ExperimentResult>> rows;
-    RunningStat flatness; // max/min EDP ratio per benchmark
+    std::vector<SweepTask> tasks;
     for (const auto &bench : benches) {
-        std::vector<ExperimentResult> row;
-        double lo = 1e300, hi = 0;
         for (const auto heap : heaps) {
             ExperimentConfig cfg;
             cfg.vm = jvm::VmKind::Kaffe;
             cfg.collector = jvm::CollectorKind::IncrementalMS;
             cfg.heapNominalMB = heap;
-            row.push_back(runExperiment(cfg, bench));
+            tasks.push_back({cfg, bench});
+        }
+    }
+    SweepRunner::Config rc;
+    rc.progress = consoleProgress("fig10 sweep");
+    const auto outcomes = SweepRunner(rc).run(tasks);
+
+    std::vector<std::vector<ExperimentResult>> rows;
+    RunningStat flatness; // max/min EDP ratio per benchmark
+    for (std::size_t b = 0; b < benches.size(); ++b) {
+        std::vector<ExperimentResult> row;
+        double lo = 1e300, hi = 0;
+        for (std::size_t h = 0; h < heaps.size(); ++h) {
+            row.push_back(outcomes[b * heaps.size() + h].result);
             if (row.back().ok()) {
                 lo = std::min(lo, row.back().edp());
                 hi = std::max(hi, row.back().edp());

@@ -17,6 +17,7 @@
 
 #include "harness/experiment.hh"
 #include "harness/report.hh"
+#include "harness/sweep.hh"
 #include "util/stats.hh"
 
 using namespace javelin;
@@ -28,6 +29,7 @@ main()
     std::vector<ExperimentResult> rows;
     RunningStat clShare, gcShare, jitShare, gcPowerMw, appPowerMw;
 
+    std::vector<SweepTask> tasks;
     for (const auto &bench : workloads::embeddedBenchmarks()) {
         for (const auto heap : kPxaHeapsMB) {
             ExperimentConfig cfg;
@@ -36,24 +38,30 @@ main()
             cfg.collector = jvm::CollectorKind::IncrementalMS;
             cfg.dataset = workloads::DatasetScale::Small;
             cfg.heapNominalMB = heap;
-            const auto res = runExperiment(cfg, bench);
-            rows.push_back(res);
-            if (!res.ok())
-                continue;
-            clShare.add(res.attribution.energyFraction(
-                core::ComponentId::ClassLoader));
-            gcShare.add(
-                res.attribution.energyFraction(core::ComponentId::Gc));
-            jitShare.add(
-                res.attribution.energyFraction(core::ComponentId::Jit));
-            const auto &gc =
-                res.attribution.powerOf(core::ComponentId::Gc);
-            const auto &app =
-                res.attribution.powerOf(core::ComponentId::App);
-            if (gc.samples > 3)
-                gcPowerMw.add(gc.avgCpuWatts() * 1e3);
-            appPowerMw.add(app.avgCpuWatts() * 1e3);
+            tasks.push_back({cfg, bench});
         }
+    }
+    SweepRunner::Config rc;
+    rc.progress = consoleProgress("fig11 sweep");
+    const auto outcomes = SweepRunner(rc).run(tasks);
+
+    for (const auto &outcome : outcomes) {
+        const auto &res = outcome.result;
+        rows.push_back(res);
+        if (!outcome.ok())
+            continue;
+        clShare.add(res.attribution.energyFraction(
+            core::ComponentId::ClassLoader));
+        gcShare.add(
+            res.attribution.energyFraction(core::ComponentId::Gc));
+        jitShare.add(
+            res.attribution.energyFraction(core::ComponentId::Jit));
+        const auto &gc = res.attribution.powerOf(core::ComponentId::Gc);
+        const auto &app =
+            res.attribution.powerOf(core::ComponentId::App);
+        if (gc.samples > 3)
+            gcPowerMw.add(gc.avgCpuWatts() * 1e3);
+        appPowerMw.add(app.avgCpuWatts() * 1e3);
     }
 
     std::cout << "=== Fig. 11: Kaffe energy decomposition, DBPXA255, "

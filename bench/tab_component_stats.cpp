@@ -19,6 +19,7 @@
 
 #include "harness/experiment.hh"
 #include "harness/report.hh"
+#include "harness/sweep.hh"
 #include "util/stats.hh"
 
 using namespace javelin;
@@ -41,40 +42,54 @@ main()
                  "App avgW", "App IPC", "App L2miss", "mem%"});
     Table share({"collector", "GC% @32MB", "GC% @128MB"});
 
+    std::vector<harness::SweepTask> tasks;
     for (const auto collector : collectors) {
-        RunningStat gcW, gcIpc, gcMiss, appW, appIpc, appMiss, memShare;
-        RunningStat gc32, gc128;
         for (const auto &bench : benches) {
             for (const std::uint32_t heap : {32u, 128u}) {
                 harness::ExperimentConfig cfg;
                 cfg.collector = collector;
                 cfg.heapNominalMB = heap;
                 cfg.hpmPeriod = 100 * kTicksPerMicro;
-                const auto res = harness::runExperiment(cfg, bench);
-                if (!res.ok())
-                    continue;
-                const auto &gc =
-                    res.attribution.powerOf(core::ComponentId::Gc);
-                const auto &app =
-                    res.attribution.powerOf(core::ComponentId::App);
-                const auto &gcp =
-                    res.attribution.perfOf(core::ComponentId::Gc);
-                const auto &appp =
-                    res.attribution.perfOf(core::ComponentId::App);
-                if (gc.samples > 3) {
-                    gcW.add(gc.avgCpuWatts());
-                    gcIpc.add(gcp.ipc());
-                    gcMiss.add(gcp.l2MissRate());
-                }
-                appW.add(app.avgCpuWatts());
-                appIpc.add(appp.ipc());
-                appMiss.add(appp.l2MissRate());
-                memShare.add(res.attribution.totalMemJoules /
-                             res.attribution.totalJoules());
-                (heap == 32 ? gc32 : gc128)
-                    .add(res.attribution.energyFraction(
-                        core::ComponentId::Gc));
+                tasks.push_back({cfg, bench});
             }
+        }
+    }
+    harness::SweepRunner::Config rc;
+    rc.progress = harness::consoleProgress("tab sweep");
+    const auto outcomes = harness::SweepRunner(rc).run(tasks);
+
+    const std::size_t perCollector = benches.size() * 2;
+    std::size_t taskIdx = 0;
+    for (const auto collector : collectors) {
+        RunningStat gcW, gcIpc, gcMiss, appW, appIpc, appMiss, memShare;
+        RunningStat gc32, gc128;
+        for (std::size_t i = 0; i < perCollector; ++i) {
+            const auto &outcome = outcomes[taskIdx++];
+            const auto &res = outcome.result;
+            const std::uint32_t heap = res.config.heapNominalMB;
+            if (!outcome.ok())
+                continue;
+            const auto &gc =
+                res.attribution.powerOf(core::ComponentId::Gc);
+            const auto &app =
+                res.attribution.powerOf(core::ComponentId::App);
+            const auto &gcp =
+                res.attribution.perfOf(core::ComponentId::Gc);
+            const auto &appp =
+                res.attribution.perfOf(core::ComponentId::App);
+            if (gc.samples > 3) {
+                gcW.add(gc.avgCpuWatts());
+                gcIpc.add(gcp.ipc());
+                gcMiss.add(gcp.l2MissRate());
+            }
+            appW.add(app.avgCpuWatts());
+            appIpc.add(appp.ipc());
+            appMiss.add(appp.l2MissRate());
+            memShare.add(res.attribution.totalMemJoules /
+                         res.attribution.totalJoules());
+            (heap == 32 ? gc32 : gc128)
+                .add(res.attribution.energyFraction(
+                    core::ComponentId::Gc));
         }
         power.beginRow();
         power.cell(jvm::collectorName(collector));

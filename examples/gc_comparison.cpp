@@ -14,6 +14,7 @@
 #include "core/energy_accounting.hh"
 #include "harness/experiment.hh"
 #include "harness/report.hh"
+#include "harness/sweep.hh"
 
 using namespace javelin;
 using namespace javelin::harness;
@@ -33,21 +34,33 @@ main(int argc, char **argv)
     std::cout << "collector comparison for " << name
               << " (Jikes RVM on the simulated Pentium M)\n\n";
 
-    std::vector<std::vector<ExperimentResult>> rows;
-    double bestEdp = 1e300;
-    std::string best;
+    // One task per (collector, heap) cell; the sweep runner spreads
+    // them over every core and returns results in input order.
+    std::vector<SweepTask> tasks;
     for (const auto collector : collectors) {
-        std::vector<ExperimentResult> row;
         for (const auto heap : heaps) {
             ExperimentConfig cfg;
             cfg.collector = collector;
             cfg.heapNominalMB = heap;
-            row.push_back(runExperiment(cfg, bench));
+            tasks.push_back({cfg, bench});
+        }
+    }
+    SweepRunner::Config rc;
+    rc.progress = consoleProgress("gc comparison");
+    const auto outcomes = SweepRunner(rc).run(tasks);
+
+    std::vector<std::vector<ExperimentResult>> rows;
+    double bestEdp = 1e300;
+    std::string best;
+    for (std::size_t c = 0; c < collectors.size(); ++c) {
+        std::vector<ExperimentResult> row;
+        for (std::size_t h = 0; h < heaps.size(); ++h) {
+            row.push_back(outcomes[c * heaps.size() + h].result);
             const auto &r = row.back();
             if (r.ok() && r.edp() < bestEdp) {
                 bestEdp = r.edp();
-                best = std::string(jvm::collectorName(collector)) +
-                       " @ " + std::to_string(heap) + "MB";
+                best = std::string(jvm::collectorName(collectors[c])) +
+                       " @ " + std::to_string(heaps[h]) + "MB";
             }
         }
         rows.push_back(std::move(row));

@@ -1,0 +1,9 @@
+#!/bin/sh
+# Tier-1 gate: configure, build, and run the full test suite.
+# Mirrors what CI runs; keep it green before pushing.
+set -eu
+
+cd "$(dirname "$0")/.."
+cmake -B build -S .
+cmake --build build -j
+ctest --test-dir build --output-on-failure -j

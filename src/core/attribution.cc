@@ -27,13 +27,15 @@ Attribution::jvmEnergyFraction() const
 }
 
 Attribution
-attribute(const PowerTrace &power_trace, Tick daq_period,
-          const PerfTrace &perf_trace)
+attribute(const PowerTrace &power_trace, const PerfTrace &perf_trace)
 {
     Attribution a;
-    const double dt = ticksToSeconds(daq_period);
 
     for (const auto &s : power_trace) {
+        // Integrate over the window this sample actually averaged:
+        // catch-up samples inside a burst cover zero additional time
+        // and must not add energy (they only record trace shape).
+        const double dt = ticksToSeconds(s.windowTicks);
         auto &c = a.power[componentIndex(s.component)];
         c.cpuJoules += s.cpuWatts * dt;
         c.memJoules += s.memWatts * dt;

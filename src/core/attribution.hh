@@ -20,7 +20,7 @@ struct ComponentPowerStats
 {
     double cpuJoules = 0.0;
     double memJoules = 0.0;
-    /** Attributed running time (samples * period). */
+    /** Attributed running time (sum of actual sample windows). */
     double seconds = 0.0;
     double peakCpuWatts = 0.0;
     std::uint64_t samples = 0;
@@ -89,11 +89,14 @@ struct Attribution
 /**
  * Build an Attribution from the sampled traces.
  *
+ * Each power sample is integrated over its own windowTicks (the time it
+ * actually averaged), so bursty traces with non-uniform windows — and
+ * zero-length catch-up samples — account energy exactly once.
+ *
  * @param power_trace DAQ samples
- * @param daq_period DAQ sampling period in ticks
  * @param perf_trace HPM samples (may be empty)
  */
-Attribution attribute(const PowerTrace &power_trace, Tick daq_period,
+Attribution attribute(const PowerTrace &power_trace,
                       const PerfTrace &perf_trace);
 
 } // namespace core

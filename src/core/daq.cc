@@ -18,6 +18,12 @@ Daq::Daq(sim::System &system, ComponentPort &port, const Config &config)
     JAVELIN_ASSERT(period_ > 0, "DAQ period must be positive");
     trace_.reserve(config.reserve);
     refTick_ = system_.cpu().now();
+    // Snapshot the energy baseline at attach time: a DAQ connected to a
+    // warm system must not attribute pre-attach energy to its first
+    // sample window.
+    system_.syncPower();
+    refCpuJoules_ = system_.power().cumulativeJoules();
+    refMemJoules_ = system_.memoryPower().cumulativeJoules();
     lastCpuWatts_ = system_.power().idleWatts();
     lastMemWatts_ = system_.memoryPower().config().idleWatts;
     system_.addPeriodicTask("daq", period_,
@@ -37,9 +43,11 @@ Daq::sample(Tick now)
     s.tick = now;
     s.component = port_.current();
     if (actual > refTick_) {
-        const double dt = ticksToSeconds(actual - refTick_);
+        const Tick window = actual - refTick_;
+        const double dt = ticksToSeconds(window);
         const double trueCpuW = (cpuJ - refCpuJoules_) / dt;
         const double trueMemW = (memJ - refMemJoules_) / dt;
+        s.windowTicks = window;
         s.cpuWatts = cpuSense_.measureWatts(trueCpuW,
                                             system_.power().railVolts());
         s.memWatts =
@@ -51,6 +59,10 @@ Daq::sample(Tick now)
         // Catch-up tick inside a burst (the simulation polled late):
         // the best estimate for every sample in the gap is the gap's
         // window average, which the first tick of the burst computed.
+        // That first tick already integrated the whole gap, so these
+        // samples cover zero additional time: windowTicks stays 0 and
+        // they contribute no energy, only trace shape.
+        s.windowTicks = 0;
         s.cpuWatts = lastCpuWatts_;
         s.memWatts = lastMemWatts_;
     }
@@ -66,8 +78,8 @@ Daq::measuredCpuJoules() const
 {
     double j = 0.0;
     for (const auto &s : trace_)
-        j += s.cpuWatts;
-    return j * ticksToSeconds(period_);
+        j += s.cpuWatts * ticksToSeconds(s.windowTicks);
+    return j;
 }
 
 double
@@ -75,8 +87,8 @@ Daq::measuredMemJoules() const
 {
     double j = 0.0;
     for (const auto &s : trace_)
-        j += s.memWatts;
-    return j * ticksToSeconds(period_);
+        j += s.memWatts * ticksToSeconds(s.windowTicks);
+    return j;
 }
 
 } // namespace core

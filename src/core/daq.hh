@@ -48,7 +48,7 @@ class Daq
 
     const PowerTrace &trace() const { return trace_; }
 
-    /** Total measured CPU energy: sum of sample power * period. */
+    /** Total measured CPU energy: sum of sample power * actual window. */
     double measuredCpuJoules() const;
 
     /** Total measured memory energy. */

@@ -14,11 +14,11 @@ namespace core {
 void
 writePowerCsv(std::ostream &os, const PowerTrace &trace)
 {
-    os << "tick,us,cpu_watts,mem_watts,component\n";
+    os << "tick,us,window_ticks,cpu_watts,mem_watts,component\n";
     for (const auto &s : trace) {
         os << s.tick << ',' << static_cast<double>(s.tick) / kTicksPerMicro
-           << ',' << s.cpuWatts << ',' << s.memWatts << ','
-           << componentName(s.component) << '\n';
+           << ',' << s.windowTicks << ',' << s.cpuWatts << ','
+           << s.memWatts << ',' << componentName(s.component) << '\n';
     }
 }
 
@@ -73,6 +73,9 @@ readPowerCsv(std::istream &is)
             JAVELIN_FATAL("power CSV: missing tick in '", line, "'");
         s.tick = static_cast<Tick>(std::stoull(field));
         std::getline(ls, field, ','); // derived microseconds (ignored)
+        if (!std::getline(ls, field, ','))
+            JAVELIN_FATAL("power CSV: missing window in '", line, "'");
+        s.windowTicks = static_cast<Tick>(std::stoull(field));
         if (!std::getline(ls, field, ','))
             JAVELIN_FATAL("power CSV: missing cpu watts in '", line, "'");
         s.cpuWatts = std::stod(field);

@@ -27,6 +27,15 @@ struct PowerSample
     double cpuWatts = 0.0;
     /** Window-average memory power since the previous sample (watts). */
     double memWatts = 0.0;
+    /**
+     * Length of the integration window this sample's power averages
+     * over. Nominally the DAQ period, but a sample taken after the
+     * simulation polled late covers the whole gap, and the catch-up
+     * samples that follow it inside the same burst cover no new time at
+     * all (windowTicks == 0). Energy integration must weight each
+     * sample by this actual window, never by the nominal period.
+     */
+    Tick windowTicks = 0;
     /** Component ID visible on the port at the sampling instant. */
     ComponentId component = ComponentId::App;
 };

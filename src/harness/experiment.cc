@@ -80,8 +80,7 @@ runExperiment(const ExperimentConfig &config, const jvm::Program &program)
     res.run = vm.run();
     truth.finalize();
 
-    res.attribution =
-        core::attribute(daq.trace(), daq.period(), hpm.trace());
+    res.attribution = core::attribute(daq.trace(), hpm.trace());
     for (std::size_t i = 0; i < core::kNumComponents; ++i)
         res.groundTruth[i] =
             truth.slice(static_cast<core::ComponentId>(i));

@@ -1,0 +1,152 @@
+#include "harness/sweep.hh"
+
+#include <atomic>
+#include <cstdlib>
+#include <iostream>
+#include <mutex>
+#include <thread>
+
+namespace javelin {
+namespace harness {
+
+namespace {
+
+/**
+ * Drain an atomic work queue: claim indices until none remain, run
+ * work(i) for each, then report completion under the progress lock.
+ */
+void
+drainQueue(std::atomic<std::size_t> &next, std::size_t total,
+           const std::function<void(std::size_t)> &work,
+           std::mutex *progress_mutex, std::size_t *done,
+           const SweepRunner::Progress &progress)
+{
+    for (;;) {
+        const std::size_t i = next.fetch_add(1);
+        if (i >= total)
+            return;
+        work(i);
+        if (progress) {
+            std::lock_guard<std::mutex> lock(*progress_mutex);
+            progress(++*done, total);
+        }
+    }
+}
+
+void
+runPool(std::size_t total, unsigned jobs,
+        const std::function<void(std::size_t)> &work,
+        const SweepRunner::Progress &progress)
+{
+    std::atomic<std::size_t> next{0};
+    std::mutex progressMutex;
+    std::size_t done = 0;
+
+    if (total == 0)
+        return;
+    if (jobs > total)
+        jobs = static_cast<unsigned>(total);
+    if (jobs <= 1) {
+        // Serial path on the calling thread (JAVELIN_JOBS=1): easier to
+        // debug and guaranteed free of thread scheduling entirely.
+        drainQueue(next, total, work, &progressMutex, &done, progress);
+        return;
+    }
+
+    std::vector<std::thread> workers;
+    workers.reserve(jobs);
+    for (unsigned t = 0; t < jobs; ++t)
+        workers.emplace_back([&] {
+            drainQueue(next, total, work, &progressMutex, &done,
+                       progress);
+        });
+    for (auto &w : workers)
+        w.join();
+}
+
+} // namespace
+
+unsigned
+SweepRunner::resolveJobs(unsigned requested)
+{
+    if (requested > 0)
+        return requested;
+    if (const char *env = std::getenv("JAVELIN_JOBS")) {
+        char *end = nullptr;
+        const unsigned long parsed = std::strtoul(env, &end, 10);
+        if (end != env && *end == '\0' && parsed > 0)
+            return static_cast<unsigned>(parsed);
+        std::cerr << "javelin: ignoring invalid JAVELIN_JOBS='" << env
+                  << "'\n";
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? hw : 1;
+}
+
+std::uint64_t
+SweepRunner::taskSeed(std::uint64_t base_seed, std::size_t index)
+{
+    // SplitMix64 finalizer over the (seed, index) pair: distinct,
+    // well-mixed streams for every task regardless of the base seed.
+    std::uint64_t z = base_seed + 0x9e3779b97f4a7c15ULL *
+                                      (static_cast<std::uint64_t>(index) + 1);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+std::vector<SweepOutcome>
+SweepRunner::run(const std::vector<SweepTask> &tasks) const
+{
+    std::vector<SweepOutcome> outcomes(tasks.size());
+    const auto &execute = config_.execute;
+
+    runPool(
+        tasks.size(), resolveJobs(config_.jobs),
+        [&](std::size_t i) {
+            SweepTask task = tasks[i];
+            task.config.seed = taskSeed(task.config.seed, i);
+            try {
+                outcomes[i].result =
+                    execute ? execute(task)
+                            : runExperiment(task.config, task.profile);
+            } catch (const std::exception &e) {
+                outcomes[i].error = {true, e.what()};
+            } catch (...) {
+                outcomes[i].error = {true, "unknown exception"};
+            }
+        },
+        config_.progress);
+
+    return outcomes;
+}
+
+void
+SweepRunner::parallelFor(std::size_t n,
+                         const std::function<void(std::size_t)> &fn,
+                         unsigned jobs)
+{
+    runPool(n, resolveJobs(jobs), fn, nullptr);
+}
+
+std::vector<SweepOutcome>
+runSweep(const std::vector<SweepTask> &tasks, unsigned jobs)
+{
+    SweepRunner::Config cfg;
+    cfg.jobs = jobs;
+    return SweepRunner(cfg).run(tasks);
+}
+
+SweepRunner::Progress
+consoleProgress(std::string label)
+{
+    return [label = std::move(label)](std::size_t done,
+                                      std::size_t total) {
+        std::cerr << '\r' << label << ": " << done << '/' << total;
+        if (done == total)
+            std::cerr << '\n';
+    };
+}
+
+} // namespace harness
+} // namespace javelin

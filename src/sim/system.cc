@@ -119,6 +119,20 @@ DvfsController::DvfsController(System &system,
     : system_(system), points_(std::move(points)),
       current_(points_.empty() ? 0 : points_.size() - 1)
 {
+    // Apply the boot operating point so the CPU and power models agree
+    // with current() from tick zero; otherwise a spec whose nominal
+    // frequency/voltage differs from the top operating point would run
+    // at settings dvfs().current() does not report until the first
+    // set().
+    if (!points_.empty()) {
+        system_.applyOperatingPoint(points_[current_]);
+        JAVELIN_ASSERT(system_.cpu().frequency() ==
+                           points_[current_].freqHz,
+                       "DVFS boot point not applied to the CPU model");
+        JAVELIN_ASSERT(system_.power().voltage() ==
+                           points_[current_].volts,
+                       "DVFS boot point not applied to the power model");
+    }
 }
 
 void

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Regression tests for two DAQ energy-integration bugs:
+ *
+ *  1. Samples used to be weighted by the nominal DAQ period when
+ *     integrating energy, but a sample taken after the simulation
+ *     polled late covers the whole gap and the catch-up samples behind
+ *     it cover no time at all. Measured totals now integrate each
+ *     sample over its actual window (PowerSample::windowTicks) and must
+ *     reconcile with the power model / ground-truth accountant even on
+ *     bursty workloads; the old period-weighted sum must not.
+ *
+ *  2. A Daq attached to a warm system used to leave its energy
+ *     baseline at zero and attribute everything consumed before attach
+ *     to the first sample window. The constructor now snapshots the
+ *     cumulative energy counters.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/attribution.hh"
+#include "core/component_port.hh"
+#include "core/daq.hh"
+#include "sim/platform.hh"
+
+using namespace javelin;
+using core::ComponentId;
+using core::ComponentPort;
+using core::Daq;
+using sim::System;
+
+namespace {
+
+sim::PlatformSpec
+testSpec()
+{
+    auto spec = sim::p6Spec();
+    spec.memory.l1i.sizeBytes = 4 * kKiB;
+    spec.memory.l1d.sizeBytes = 4 * kKiB;
+    spec.memory.l2->sizeBytes = 64 * kKiB;
+    return spec;
+}
+
+/** Advance busy execution to `target` without polling the DAQ. */
+void
+burnWithoutPolling(System &sys, Tick target)
+{
+    while (sys.cpu().now() < target)
+        sys.cpu().execute(50, 0x1000, 64);
+}
+
+} // namespace
+
+TEST(DaqFixes, BurstyWindowsReconcileButPeriodWeightingDoesNot)
+{
+    System sys(testSpec());
+    ComponentPort port(sys);
+    Daq::Config cfg;
+    cfg.period = 40 * kTicksPerMicro;
+    Daq daq(sys, port, cfg);
+    const Tick p = daq.period();
+
+    // Alternate high-power bursts that overrun the sampling period
+    // (polled only at the end, so the DAQ fires a catch-up burst) with
+    // low-power idle stretches sampled on time. Power then correlates
+    // with window length, which is exactly where period-weighted
+    // integration goes wrong.
+    for (int i = 0; i < 40; ++i) {
+        burnWithoutPolling(sys, sys.cpu().now() + 5 * p / 2);
+        sys.poll();
+        sys.idleFor(5 * p / 2);
+    }
+    sys.syncPower();
+
+    std::size_t catchUps = 0;
+    std::size_t longWindows = 0;
+    for (const auto &s : daq.trace()) {
+        catchUps += s.windowTicks == 0;
+        longWindows += s.windowTicks > p;
+    }
+    ASSERT_GT(catchUps, 0u);
+    ASSERT_GT(longWindows, 0u);
+
+    const double model = sys.cpuJoules();
+    const double measured = daq.measuredCpuJoules();
+    EXPECT_NEAR(measured, model, model * 0.02);
+    EXPECT_NEAR(daq.measuredMemJoules(), sys.memoryJoules(),
+                sys.memoryJoules() * 0.03);
+
+    // The pre-fix integral: every sample weighted by the nominal
+    // period. On this workload it misses by far more than the
+    // reconciliation tolerance above.
+    double naive = 0.0;
+    for (const auto &s : daq.trace())
+        naive += s.cpuWatts * ticksToSeconds(p);
+    EXPECT_GT(std::abs(naive - model), model * 0.05);
+}
+
+TEST(DaqFixes, AttributionIntegratesActualWindows)
+{
+    System sys(testSpec());
+    ComponentPort port(sys);
+    Daq daq(sys, port);
+    const Tick p = daq.period();
+
+    for (int i = 0; i < 40; ++i) {
+        burnWithoutPolling(sys, sys.cpu().now() + 5 * p / 2);
+        sys.poll();
+        sys.idleFor(5 * p / 2);
+    }
+    sys.syncPower();
+
+    // attribute() must agree with the DAQ's own integral (same trace,
+    // same actual-window weighting).
+    const auto a = core::attribute(daq.trace(), {});
+    EXPECT_NEAR(a.totalCpuJoules, daq.measuredCpuJoules(), 1e-9);
+    EXPECT_NEAR(a.totalCpuJoules, sys.cpuJoules(),
+                sys.cpuJoules() * 0.02);
+    // Catch-up samples add trace shape but no seconds.
+    Tick covered = 0;
+    for (const auto &s : daq.trace())
+        covered += s.windowTicks;
+    EXPECT_NEAR(a.totalSeconds, ticksToSeconds(covered), 1e-12);
+}
+
+TEST(DaqFixes, WarmAttachMeasuresOnlyPostAttachEnergy)
+{
+    System sys(testSpec());
+    ComponentPort port(sys);
+
+    // Burn a substantial amount of energy before the DAQ exists.
+    while (sys.cpu().now() < 5 * kTicksPerMilli) {
+        sys.cpu().execute(300, 0x1000, 64);
+        sys.poll();
+    }
+    sys.syncPower();
+    const double preAttachJ = sys.cpuJoules();
+    const double preAttachMemJ = sys.memoryJoules();
+    ASSERT_GT(preAttachJ, 0.0);
+
+    Daq daq(sys, port);
+    while (sys.cpu().now() < 10 * kTicksPerMilli) {
+        sys.cpu().execute(300, 0x1000, 64);
+        sys.poll();
+    }
+    sys.syncPower();
+
+    const double postAttachJ = sys.cpuJoules() - preAttachJ;
+    const double postAttachMemJ = sys.memoryJoules() - preAttachMemJ;
+    EXPECT_NEAR(daq.measuredCpuJoules(), postAttachJ,
+                postAttachJ * 0.03);
+    EXPECT_NEAR(daq.measuredMemJoules(), postAttachMemJ,
+                postAttachMemJ * 0.03);
+    // The pre-fix behaviour folded the entire pre-attach energy into
+    // the first window; make sure nothing like that survives.
+    EXPECT_LT(daq.measuredCpuJoules(), sys.cpuJoules() * 0.7);
+}

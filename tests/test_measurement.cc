@@ -262,7 +262,7 @@ TEST(Attribution, SampledMatchesGroundTruthOnLongPhases)
     port.pop();
     truth.finalize();
 
-    const auto a = core::attribute(daq.trace(), daq.period(), {});
+    const auto a = core::attribute(daq.trace(), {});
     const double gcTruth = truth.slice(ComponentId::Gc).cpuJoules;
     const double gcSampled = a.powerOf(ComponentId::Gc).cpuJoules;
     EXPECT_NEAR(gcSampled, gcTruth, gcTruth * 0.02);
@@ -282,7 +282,7 @@ TEST(Attribution, FractionsSumToOne)
             burn(sys, 250);
         port.pop();
     }
-    const auto a = core::attribute(daq.trace(), daq.period(), {});
+    const auto a = core::attribute(daq.trace(), {});
     double total = 0;
     for (std::size_t i = 0; i < core::kNumComponents; ++i)
         total += a.energyFraction(static_cast<ComponentId>(i));
@@ -296,11 +296,12 @@ TEST(Attribution, JvmFractionExcludesApp)
     for (int i = 0; i < 10; ++i) {
         core::PowerSample s;
         s.tick = static_cast<Tick>(i) * 40 * kTicksPerMicro;
+        s.windowTicks = 40 * kTicksPerMicro;
         s.cpuWatts = 10.0;
         s.component = i < 6 ? ComponentId::App : ComponentId::Gc;
         trace.push_back(s);
     }
-    const auto a = core::attribute(trace, 40 * kTicksPerMicro, {});
+    const auto a = core::attribute(trace, {});
     EXPECT_NEAR(a.jvmEnergyFraction(), 0.4, 1e-9);
     EXPECT_NEAR(a.energyFraction(ComponentId::App), 0.6, 1e-9);
 }

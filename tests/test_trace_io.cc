@@ -21,6 +21,7 @@ sampleTrace()
     for (int i = 0; i < 5; ++i) {
         PowerSample s;
         s.tick = static_cast<Tick>(i) * 40 * kTicksPerMicro;
+        s.windowTicks = i == 2 ? 0 : 40 * kTicksPerMicro;
         s.cpuWatts = 10.0 + i * 0.5;
         s.memWatts = 0.25 + i * 0.01;
         s.component = i % 2 ? ComponentId::Gc : ComponentId::App;
@@ -36,7 +37,8 @@ TEST(TraceIo, PowerCsvHasHeaderAndRows)
     std::ostringstream os;
     writePowerCsv(os, sampleTrace());
     const std::string csv = os.str();
-    EXPECT_NE(csv.find("tick,us,cpu_watts,mem_watts,component"),
+    EXPECT_NE(csv.find("tick,us,window_ticks,cpu_watts,mem_watts,"
+                       "component"),
               std::string::npos);
     EXPECT_NE(csv.find(",GC"), std::string::npos);
     EXPECT_NE(csv.find(",App"), std::string::npos);
@@ -53,6 +55,7 @@ TEST(TraceIo, PowerRoundTrip)
     ASSERT_EQ(back.size(), original.size());
     for (std::size_t i = 0; i < back.size(); ++i) {
         EXPECT_EQ(back[i].tick, original[i].tick);
+        EXPECT_EQ(back[i].windowTicks, original[i].windowTicks);
         EXPECT_NEAR(back[i].cpuWatts, original[i].cpuWatts, 1e-9);
         EXPECT_NEAR(back[i].memWatts, original[i].memWatts, 1e-9);
         EXPECT_EQ(back[i].component, original[i].component);
@@ -74,15 +77,16 @@ TEST(TraceIo, MissingHeaderDies)
 
 TEST(TraceIo, MalformedRowDies)
 {
-    std::istringstream is("tick,us,cpu_watts,mem_watts,component\n42\n");
+    std::istringstream is(
+        "tick,us,window_ticks,cpu_watts,mem_watts,component\n42\n");
     EXPECT_EXIT(readPowerCsv(is), testing::ExitedWithCode(1),
                 "power CSV");
 }
 
 TEST(TraceIo, UnknownComponentDies)
 {
-    std::istringstream is(
-        "tick,us,cpu_watts,mem_watts,component\n1,0.1,2,3,Nope\n");
+    std::istringstream is("tick,us,window_ticks,cpu_watts,mem_watts,"
+                          "component\n1,0.1,40,2,3,Nope\n");
     EXPECT_EXIT(readPowerCsv(is), testing::ExitedWithCode(1),
                 "unknown component");
 }
