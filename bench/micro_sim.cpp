@@ -65,6 +65,7 @@ void
 BM_EndToEndExperiment(benchmark::State &state)
 {
     // Full pipeline: build + run one small benchmark with measurement.
+    std::uint64_t total_bytecodes = 0;
     for (auto _ : state) {
         harness::ExperimentConfig cfg;
         cfg.dataset = workloads::DatasetScale::Small;
@@ -72,9 +73,15 @@ BM_EndToEndExperiment(benchmark::State &state)
         const auto res = harness::runExperiment(
             cfg, workloads::benchmark("_202_jess"));
         benchmark::DoNotOptimize(res.run.returnValue);
+        total_bytecodes += res.run.bytecodesExecuted;
         state.counters["bytecodes"] =
             static_cast<double>(res.run.bytecodesExecuted);
     }
+    // Host-side simulation throughput: the perf-trajectory metric that
+    // scripts/ci.sh compares against the committed BENCH_sim.json.
+    state.counters["bytecodes_per_sec"] =
+        benchmark::Counter(static_cast<double>(total_bytecodes),
+                           benchmark::Counter::kIsRate);
 }
 
 } // namespace

@@ -1,9 +1,38 @@
 #!/bin/sh
-# Tier-1 gate: configure, build, and run the full test suite.
+# Tier-1 gate: configure, build, and run the full test suite, then the
+# perf gate: a Release build of bench/micro_sim whose end-to-end
+# simulation throughput must stay within 10 % of the committed
+# BENCH_sim.json baseline (see scripts/compare_bench.py).
 # Mirrors what CI runs; keep it green before pushing.
 set -eu
 
 cd "$(dirname "$0")/.."
+
+# --- correctness gate (includes the differential fuzzer and the
+# --- golden-run regressions; see tests/test_cache_diff.cc and
+# --- tests/test_golden_runs.cc)
 cmake -B build -S .
 cmake --build build -j
 ctest --test-dir build --output-on-failure -j
+
+# --- perf gate (skippable for quick correctness-only runs)
+if [ "${JAVELIN_SKIP_BENCH:-0}" = "1" ]; then
+    echo "ci.sh: JAVELIN_SKIP_BENCH=1, skipping the perf gate"
+    exit 0
+fi
+
+cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release
+cmake --build build-release -j --target micro_sim
+./build-release/bench/micro_sim --benchmark_format=json \
+    --benchmark_min_time=1 > BENCH_sim.json
+if command -v python3 > /dev/null 2>&1; then
+    # Trajectory context (non-gating): speedup over the pre-fast-path
+    # simulator kept from before DESIGN.md §5c landed.
+    python3 scripts/compare_bench.py bench/BENCH_sim.pre_fast_path.json \
+        BENCH_sim.json --max-regress 1.0
+    # The gate: no more than 10 % below the committed baseline.
+    python3 scripts/compare_bench.py bench/BENCH_sim.baseline.json \
+        BENCH_sim.json --max-regress 0.10
+else
+    echo "ci.sh: python3 not found, skipping benchmark comparison" >&2
+fi

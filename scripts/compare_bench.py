@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Compare a fresh micro_sim run against a committed benchmark baseline.
+
+Usage: compare_bench.py BASELINE.json CURRENT.json [--max-regress FRAC]
+
+Both files are google-benchmark ``--benchmark_format=json`` output. The
+gate metric is the ``bytecodes_per_sec`` rate counter of
+``BM_EndToEndExperiment`` (host-side simulation throughput, the perf
+trajectory of ROADMAP.md); the remaining benchmarks are reported for
+context but do not gate, since nanosecond-scale micro-benchmarks are too
+noisy for a hard threshold.
+
+Exits non-zero when the gate metric regresses more than ``--max-regress``
+(default 10 %) below the baseline.
+"""
+
+import argparse
+import json
+import sys
+
+GATE_BENCH = "BM_EndToEndExperiment"
+GATE_COUNTER = "bytecodes_per_sec"
+
+
+def load_rates(path):
+    with open(path) as f:
+        data = json.load(f)
+    rates = {}
+    for bench in data.get("benchmarks", []):
+        rates[bench["name"]] = bench
+    return rates
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("baseline")
+    ap.add_argument("current")
+    ap.add_argument("--max-regress", type=float, default=0.10,
+                    help="maximum allowed fractional regression "
+                         "of the gate metric (default 0.10)")
+    args = ap.parse_args()
+
+    base = load_rates(args.baseline)
+    cur = load_rates(args.current)
+
+    # Context table: every benchmark present in both runs.
+    for name in sorted(set(base) & set(cur)):
+        b, c = base[name], cur[name]
+        if "real_time" in b and "real_time" in c and b["real_time"] > 0:
+            ratio = b["real_time"] / c["real_time"]
+            print(f"  {name:<32} {b['real_time']:>12.2f} -> "
+                  f"{c['real_time']:>12.2f} {b.get('time_unit', 'ns')}"
+                  f"  ({ratio:.2f}x)")
+
+    try:
+        base_rate = base[GATE_BENCH][GATE_COUNTER]
+        cur_rate = cur[GATE_BENCH][GATE_COUNTER]
+    except KeyError:
+        print(f"error: {GATE_BENCH}.{GATE_COUNTER} missing from "
+              f"baseline or current run", file=sys.stderr)
+        return 2
+
+    ratio = cur_rate / base_rate
+    print(f"\n{GATE_BENCH} {GATE_COUNTER}: "
+          f"baseline {base_rate / 1e6:.2f}M, current {cur_rate / 1e6:.2f}M "
+          f"({ratio:.2f}x baseline)")
+
+    floor = 1.0 - args.max_regress
+    if ratio < floor:
+        print(f"FAIL: simulation throughput regressed below "
+              f"{floor:.2f}x of the committed baseline", file=sys.stderr)
+        return 1
+    print("OK: within budget")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

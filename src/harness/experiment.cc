@@ -79,6 +79,7 @@ runExperiment(const ExperimentConfig &config, const jvm::Program &program)
 
     res.run = vm.run();
     truth.finalize();
+    res.counters = system.counters();
 
     res.attribution = core::attribute(daq.trace(), hpm.trace());
     for (std::size_t i = 0; i < core::kNumComponents; ++i)

@@ -85,6 +85,9 @@ struct ExperimentResult
     jvm::RunResult run;
     core::Attribution attribution;
 
+    /** Final free-running HPM counter block (golden-run regression). */
+    sim::PerfCounters counters;
+
     /** Exact per-component accounting (simulator-only reference). */
     std::array<core::GroundTruthAccountant::Slice, core::kNumComponents>
         groundTruth;

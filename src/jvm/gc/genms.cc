@@ -44,8 +44,7 @@ GenMSCollector::matureAlloc(std::uint32_t bytes)
     std::uint32_t traffic = 0;
     const Address addr = mature_.alloc(bytes, &traffic);
     if (addr != kNull)
-        for (std::uint32_t i = 0; i < traffic; ++i)
-            env_.system.cpu().load(addr);
+        env_.system.cpu().loadBlock(addr, traffic, 0);
     return addr;
 }
 

@@ -159,8 +159,7 @@ IncrementalMSCollector::allocate(std::uint32_t bytes)
         if (addr == kNull)
             return kNull;
     }
-    for (std::uint32_t i = 0; i < traffic; ++i)
-        env_.system.cpu().load(addr);
+    env_.system.cpu().loadBlock(addr, traffic, 0);
 
     stats_.bytesAllocated += bytes;
     ++stats_.objectsAllocated;

@@ -28,8 +28,8 @@ MarkSweepCollector::allocate(std::uint32_t bytes)
         if (addr == kNull)
             return kNull;
     }
-    for (std::uint32_t i = 0; i < traffic; ++i)
-        env_.system.cpu().load(addr);
+    // Free-list link chasing re-touches the popped cell.
+    env_.system.cpu().loadBlock(addr, traffic, 0);
     stats_.bytesAllocated += bytes;
     ++stats_.objectsAllocated;
     return addr;

@@ -29,8 +29,7 @@ ObjectModel::initObject(Address obj, const ClassInfo &cls,
 
     // Header store plus cache-line-granular zeroing traffic.
     cpu_.store(obj);
-    for (std::uint32_t off = 64; off < total_bytes; off += 64)
-        cpu_.store(obj + off);
+    cpu_.storeBlock(obj + 64, (total_bytes - 1) / 64, 64);
 }
 
 std::uint32_t
@@ -98,10 +97,7 @@ void
 ObjectModel::copyObject(Address dst, Address src, std::uint32_t bytes)
 {
     heap_.copyBlock(dst, src, bytes);
-    for (std::uint32_t off = 0; off < bytes; off += 16) {
-        cpu_.load(src + off);
-        cpu_.store(dst + off);
-    }
+    cpu_.copyBlock(dst, src, bytes);
 }
 
 void

@@ -32,9 +32,8 @@ Cache::Cache(const Config &config)
 }
 
 Cache::Result
-Cache::access(Address addr, bool is_write)
+Cache::accessSlow(Address line, bool is_write)
 {
-    const Address line = lineNumber(addr);
     const std::uint32_t set = setIndex(line);
     Way *base = &ways_[static_cast<std::size_t>(set) * config_.assoc];
     ++useClock_;
@@ -52,6 +51,7 @@ Cache::access(Address addr, bool is_write)
             way.dirty = way.dirty || is_write;
             const bool was_prefetched = way.prefetched;
             way.prefetched = false;
+            mru_ = static_cast<std::uint32_t>(&way - ways_.data());
             return {true, false, was_prefetched};
         }
         if (!way.valid) {
@@ -75,6 +75,7 @@ Cache::access(Address addr, bool is_write)
     victim->lastUse = useClock_;
     victim->dirty = is_write;
     victim->prefetched = false;
+    mru_ = static_cast<std::uint32_t>(victim - ways_.data());
     return {false, writeback, false};
 }
 
@@ -103,6 +104,10 @@ Cache::insertPrefetch(Address addr)
     victim->lastUse = useClock_;
     victim->dirty = false;
     victim->prefetched = true;
+    // A demand stream catching up with the prefetcher hits this line
+    // next, so memoizing the inserted way helps; the fast path
+    // re-validates the tag, so a stale memo can never corrupt state.
+    mru_ = static_cast<std::uint32_t>(victim - ways_.data());
 }
 
 bool
@@ -123,6 +128,7 @@ Cache::flush()
     for (auto &way : ways_)
         way = Way();
     useClock_ = 0;
+    mru_ = kNoMru;
 }
 
 } // namespace sim

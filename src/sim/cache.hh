@@ -6,6 +6,16 @@
  * (32 KB 8-way L1I/L1D, 1 MB 8-way L2) and the PXA255 (32 KB 32-way
  * L1I/L1D, no L2). Timing is handled by the enclosing MemoryHierarchy;
  * this class only tracks hit/miss/victim state and statistics.
+ *
+ * The access path is split into an inlined MRU fast path and an
+ * out-of-line way scan (DESIGN.md §5c): the model remembers the way it
+ * touched last, and a repeated hit on the same line — the dominant
+ * pattern for straight-line instruction fetch and field loops — skips
+ * the scan entirely. The memo is purely an index: the fast path
+ * re-validates tag and valid bit, and performs exactly the same LRU
+ * clock, dirty-bit and statistics updates as the scan, so no
+ * architectural event ever differs (tests/test_cache_diff.cc holds an
+ * independent reference model to that contract).
  */
 
 #ifndef JAVELIN_SIM_CACHE_HH
@@ -72,8 +82,32 @@ class Cache
      * Access one address. A miss allocates the line (fetch-on-write for
      * stores) and evicts the LRU way, reporting a writeback if the victim
      * was dirty.
+     *
+     * Fast path: if the MRU memo still holds the addressed line, the way
+     * scan is skipped. A tag can only reside in the set it indexes, so a
+     * tag+valid match on the memoized way proves it is the right line.
      */
-    Result access(Address addr, bool is_write);
+    Result
+    access(Address addr, bool is_write)
+    {
+        const Address line = lineNumber(addr);
+        if (mru_ != kNoMru) {
+            Way &way = ways_[mru_];
+            if (way.tag == line && way.valid) [[likely]] {
+                ++useClock_;
+                if (is_write)
+                    ++stats_.writes;
+                else
+                    ++stats_.reads;
+                way.lastUse = useClock_;
+                way.dirty = way.dirty || is_write;
+                const bool was_prefetched = way.prefetched;
+                way.prefetched = false;
+                return {true, false, was_prefetched};
+            }
+        }
+        return accessSlow(line, is_write);
+    }
 
     /** Insert a line on behalf of the prefetcher (no recency claim on
      *  the demand stream; the line is tagged as prefetched). */
@@ -99,6 +133,13 @@ class Cache
         bool prefetched = false;
     };
 
+    /** Sentinel: MRU memo empty (fresh or just flushed). */
+    static constexpr std::uint32_t kNoMru = 0xFFFFFFFFu;
+
+    /** Full way scan: hit refresh or LRU-victim allocation. Updates the
+     *  MRU memo to the touched way. */
+    Result accessSlow(Address line, bool is_write);
+
     Address lineNumber(Address addr) const { return addr >> lineShift_; }
     std::uint32_t
     setIndex(Address line) const
@@ -111,6 +152,7 @@ class Cache
     std::uint32_t numSets_;
     std::uint32_t lineShift_;
     std::uint32_t setMask_;
+    std::uint32_t mru_ = kNoMru;
     std::uint64_t useClock_ = 0;
     std::vector<Way> ways_; // numSets_ * assoc, set-major
 };

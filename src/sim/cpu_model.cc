@@ -23,78 +23,6 @@ CpuModel::recomputePeriod()
 }
 
 void
-CpuModel::chargePenalty(std::uint32_t penalty_cycles)
-{
-    if (penalty_cycles == 0)
-        return;
-    const double exposed =
-        static_cast<double>(penalty_cycles) * config_.memStallFactor;
-    counters_.stallCycles += static_cast<std::uint64_t>(exposed);
-    advanceCycles(exposed);
-}
-
-void
-CpuModel::execute(std::uint32_t micro_ops, Address code_addr,
-                  std::uint32_t code_bytes)
-{
-    // One I-cache access per line spanned by the batch. A zero-byte
-    // batch charges no fetch: it models micro-ops whose code was already
-    // fetched by the surrounding dispatch batch.
-    if (code_bytes > 0) {
-        const std::uint32_t line = memory_.config().l1i.lineBytes;
-        const Address first = code_addr / line;
-        const Address last = (code_addr + code_bytes - 1) / line;
-        for (Address l = first; l <= last; ++l)
-            chargePenalty(memory_.fetch(l * line));
-    }
-
-    counters_.instructions += micro_ops;
-    advanceCycles(static_cast<double>(micro_ops) * config_.baseCpi);
-}
-
-void
-CpuModel::load(Address addr)
-{
-    // A load is itself a retired micro-op occupying an issue slot.
-    ++counters_.instructions;
-    advanceCycles(config_.baseCpi);
-    chargePenalty(memory_.data(addr, false));
-}
-
-void
-CpuModel::store(Address addr)
-{
-    ++counters_.instructions;
-    advanceCycles(config_.baseCpi);
-    // Stores retire through a store buffer; expose half the miss penalty.
-    const std::uint32_t penalty = memory_.data(addr, true);
-    if (penalty)
-        chargePenalty(penalty / 2);
-}
-
-void
-CpuModel::branch(bool mispredict)
-{
-    ++counters_.branches;
-    ++counters_.instructions;
-    advanceCycles(config_.baseCpi);
-    if (mispredict) {
-        ++counters_.branchMispredicts;
-        const auto p = static_cast<double>(config_.branchPenalty);
-        counters_.stallCycles += config_.branchPenalty;
-        advanceCycles(p);
-    }
-}
-
-void
-CpuModel::stall(double cycles)
-{
-    JAVELIN_ASSERT(cycles >= 0, "negative stall");
-    counters_.stallCycles += static_cast<std::uint64_t>(cycles);
-    advanceCycles(cycles);
-}
-
-void
 CpuModel::idleFor(Tick duration)
 {
     // Idle advances wall-clock time but not the cycle counters; the HPM

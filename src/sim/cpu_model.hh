@@ -10,6 +10,17 @@
  * accordingly. Emergency thermal throttling (50 % clock duty cycle, as in
  * paper Fig. 1) and DVFS both act by stretching the effective clock
  * period.
+ *
+ * Every per-micro-op entry point (execute/load/store/branch/stall) is
+ * defined inline here so the whole hot path — dispatch, L1 lookup with
+ * MRU memo, cycle accounting — compiles into the caller's loop
+ * (DESIGN.md §5c). The block accessors (loadBlock/storeBlock/copyBlock)
+ * are the batched entry points the interpreter, the compilers and the
+ * GC copy/sweep loops use: they are defined *in terms of* the
+ * single-access operations, in source order, so they are
+ * event-for-event and rounding-for-rounding identical to the loops
+ * they replace (tests/test_cache_diff.cc proves it), while letting one
+ * inlined frame absorb the whole burst.
  */
 
 #ifndef JAVELIN_SIM_CPU_MODEL_HH
@@ -19,6 +30,7 @@
 
 #include "sim/memory_hierarchy.hh"
 #include "sim/perf_counters.hh"
+#include "util/logging.hh"
 #include "util/units.hh"
 
 namespace javelin {
@@ -68,20 +80,106 @@ class CpuModel
      * [code_addr, code_addr + code_bytes). Instruction fetch goes through
      * the I-cache one access per line touched.
      */
-    void execute(std::uint32_t micro_ops, Address code_addr,
-                 std::uint32_t code_bytes);
+    void
+    execute(std::uint32_t micro_ops, Address code_addr,
+            std::uint32_t code_bytes)
+    {
+        // One I-cache access per line spanned by the batch. A zero-byte
+        // batch charges no fetch: it models micro-ops whose code was
+        // already fetched by the surrounding dispatch batch.
+        if (code_bytes > 0) {
+            const std::uint32_t line = memory_.config().l1i.lineBytes;
+            const Address first = code_addr / line;
+            const Address last = (code_addr + code_bytes - 1) / line;
+            for (Address l = first; l <= last; ++l)
+                chargePenalty(memory_.fetch(l * line));
+        }
+
+        counters_.instructions += micro_ops;
+        advanceCycles(static_cast<double>(micro_ops) * config_.baseCpi);
+    }
 
     /** Issue a data load at a simulated address. */
-    void load(Address addr);
+    void
+    load(Address addr)
+    {
+        // A load is itself a retired micro-op occupying an issue slot.
+        ++counters_.instructions;
+        advanceCycles(config_.baseCpi);
+        chargePenalty(memory_.data(addr, false));
+    }
 
     /** Issue a data store at a simulated address. */
-    void store(Address addr);
+    void
+    store(Address addr)
+    {
+        ++counters_.instructions;
+        advanceCycles(config_.baseCpi);
+        // Stores retire through a store buffer; expose half the miss
+        // penalty.
+        const std::uint32_t penalty = memory_.data(addr, true);
+        if (penalty)
+            chargePenalty(penalty / 2);
+    }
+
+    /**
+     * Issue `count` loads at addr, addr + stride, ... Equivalent to the
+     * corresponding load() loop; a zero stride models repeated touches
+     * of one location (e.g., free-list link chasing).
+     */
+    void
+    loadBlock(Address addr, std::uint32_t count, std::uint32_t stride_bytes)
+    {
+        for (std::uint32_t i = 0; i < count; ++i)
+            load(addr + static_cast<Address>(i) * stride_bytes);
+    }
+
+    /** Issue `count` stores at addr, addr + stride, ... (see loadBlock). */
+    void
+    storeBlock(Address addr, std::uint32_t count, std::uint32_t stride_bytes)
+    {
+        for (std::uint32_t i = 0; i < count; ++i)
+            store(addr + static_cast<Address>(i) * stride_bytes);
+    }
+
+    /**
+     * Memory traffic of copying `bytes` bytes from src to dst at the
+     * collector's 16-byte copy granularity: an interleaved load/store
+     * pair per granule, exactly as the evacuator's copy loop issues
+     * them.
+     */
+    void
+    copyBlock(Address dst, Address src, std::uint32_t bytes)
+    {
+        for (std::uint32_t off = 0; off < bytes; off += 16) {
+            load(src + off);
+            store(dst + off);
+        }
+    }
 
     /** Retire a branch micro-op. */
-    void branch(bool mispredict);
+    void
+    branch(bool mispredict)
+    {
+        ++counters_.branches;
+        ++counters_.instructions;
+        advanceCycles(config_.baseCpi);
+        if (mispredict) {
+            ++counters_.branchMispredicts;
+            const auto p = static_cast<double>(config_.branchPenalty);
+            addStallCycles(p);
+            advanceCycles(p);
+        }
+    }
 
     /** Burn cycles without retiring instructions (e.g., spin/idle). */
-    void stall(double cycles);
+    void
+    stall(double cycles)
+    {
+        JAVELIN_ASSERT(cycles >= 0, "negative stall");
+        addStallCycles(cycles);
+        advanceCycles(cycles);
+    }
 
     /** Advance simulated time with the core halted (clock-gated idle). */
     void idleFor(Tick duration);
@@ -118,7 +216,30 @@ class CpuModel
         tickAcc_ += cycles * periodEffTicks_;
     }
 
-    void chargePenalty(std::uint32_t penalty_cycles);
+    /**
+     * Accumulate stall cycles in a double so fractional penalties
+     * (memStallFactor scaling, FP-latency stalls) are not truncated
+     * per event; the architectural counter is the floor of the
+     * accumulator, exactly like the cycle counter.
+     */
+    void
+    addStallCycles(double cycles)
+    {
+        stallAcc_ += cycles;
+        counters_.stallCycles = static_cast<std::uint64_t>(stallAcc_);
+    }
+
+    void
+    chargePenalty(std::uint32_t penalty_cycles)
+    {
+        if (penalty_cycles == 0) [[likely]]
+            return;
+        const double exposed =
+            static_cast<double>(penalty_cycles) * config_.memStallFactor;
+        addStallCycles(exposed);
+        advanceCycles(exposed);
+    }
+
     void recomputePeriod();
 
     Config config_;
@@ -129,6 +250,7 @@ class CpuModel
     double periodEffTicks_ = 0.0;
     double cycleAcc_ = 0.0;
     double tickAcc_ = 0.0;
+    double stallAcc_ = 0.0;
 };
 
 } // namespace sim

@@ -9,7 +9,7 @@ MemoryHierarchy::MemoryHierarchy(const Config &config,
       l1d_(config.l1d)
 {
     if (config_.l2)
-        l2_ = std::make_unique<Cache>(*config_.l2);
+        l2_.emplace(*config_.l2);
 }
 
 std::uint32_t
@@ -44,17 +44,6 @@ MemoryHierarchy::lowerLevel(Address addr, bool is_write, bool victim_dirty)
     return penalty + config_.dramCycles;
 }
 
-std::uint32_t
-MemoryHierarchy::fetch(Address addr)
-{
-    ++counters_.l1iAccesses;
-    const auto r = l1i_.access(addr, false);
-    if (r.hit)
-        return 0;
-    ++counters_.l1iMisses;
-    return lowerLevel(addr, false, r.writeback);
-}
-
 void
 MemoryHierarchy::prefetchNextLine(Address addr)
 {
@@ -71,14 +60,9 @@ MemoryHierarchy::prefetchNextLine(Address addr)
 }
 
 std::uint32_t
-MemoryHierarchy::data(Address addr, bool is_write)
+MemoryHierarchy::dataMiss(Address addr, bool is_write, bool victim_dirty)
 {
-    ++counters_.l1dAccesses;
-    const auto r = l1d_.access(addr, is_write);
-    if (r.hit)
-        return 0;
-    ++counters_.l1dMisses;
-    const std::uint32_t penalty = lowerLevel(addr, is_write, r.writeback);
+    const std::uint32_t penalty = lowerLevel(addr, is_write, victim_dirty);
     if (config_.nextLinePrefetch)
         prefetchNextLine(addr);
     return penalty;

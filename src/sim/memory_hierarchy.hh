@@ -3,12 +3,17 @@
  * Two- or three-level memory hierarchy: L1I and L1D, an optional unified
  * L2, and DRAM. Returns stall-cycle penalties for the CPU model and
  * updates the HPM counter block with per-level access/miss events.
+ *
+ * The L1-hit case — the overwhelming majority of simulated accesses —
+ * is fully inlined here (DESIGN.md §5c); only misses drop into the
+ * out-of-line L2/DRAM walk. The optional L2 lives in-object
+ * (std::optional) rather than behind a unique_ptr, so the miss path
+ * takes no heap indirection either.
  */
 
 #ifndef JAVELIN_SIM_MEMORY_HIERARCHY_HH
 #define JAVELIN_SIM_MEMORY_HIERARCHY_HH
 
-#include <memory>
 #include <optional>
 
 #include "sim/cache.hh"
@@ -46,15 +51,33 @@ class MemoryHierarchy
     MemoryHierarchy(const Config &config, PerfCounters &counters);
 
     /** Instruction fetch of the line containing addr. Returns penalty. */
-    std::uint32_t fetch(Address addr);
+    std::uint32_t
+    fetch(Address addr)
+    {
+        ++counters_.l1iAccesses;
+        const auto r = l1i_.access(addr, false);
+        if (r.hit) [[likely]]
+            return 0;
+        ++counters_.l1iMisses;
+        return lowerLevel(addr, false, r.writeback);
+    }
 
     /** Data access. Returns the stall-cycle penalty beyond an L1 hit. */
-    std::uint32_t data(Address addr, bool is_write);
+    std::uint32_t
+    data(Address addr, bool is_write)
+    {
+        ++counters_.l1dAccesses;
+        const auto r = l1d_.access(addr, is_write);
+        if (r.hit) [[likely]]
+            return 0;
+        ++counters_.l1dMisses;
+        return dataMiss(addr, is_write, r.writeback);
+    }
 
     /** Invalidate all levels. */
     void flush();
 
-    bool hasL2() const { return l2_ != nullptr; }
+    bool hasL2() const { return l2_.has_value(); }
     const Cache &l1i() const { return l1i_; }
     const Cache &l1d() const { return l1d_; }
     const Cache &l2() const { return *l2_; }
@@ -64,6 +87,9 @@ class MemoryHierarchy
     /** Send an L1 miss down to L2/DRAM; returns the penalty. */
     std::uint32_t lowerLevel(Address addr, bool is_write, bool victim_dirty);
 
+    /** L1D-miss slow path: lower levels plus the next-line prefetcher. */
+    std::uint32_t dataMiss(Address addr, bool is_write, bool victim_dirty);
+
     /** Pull the line after addr into L2 without stalling the core. */
     void prefetchNextLine(Address addr);
 
@@ -71,7 +97,7 @@ class MemoryHierarchy
     PerfCounters &counters_;
     Cache l1i_;
     Cache l1d_;
-    std::unique_ptr<Cache> l2_;
+    std::optional<Cache> l2_;
 };
 
 } // namespace sim

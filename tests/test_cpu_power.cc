@@ -66,6 +66,47 @@ TEST(CpuModel, MispredictCostsCycles)
     EXPECT_EQ(cpu.counters().branchMispredicts, 1u);
 }
 
+TEST(CpuModel, FractionalStallsAccumulate)
+{
+    // Regression: chargePenalty/stall used to truncate fractional stall
+    // cycles per event, so sub-cycle penalties (memStallFactor scaling,
+    // FP-latency stalls) never reached the counter and stallCycles
+    // drifted away from cycles on long runs. The accumulator must
+    // floor the running sum, not each addend.
+    System sys(tinySpec());
+    auto &cpu = sys.cpu();
+    for (int i = 0; i < 1000; ++i)
+        cpu.stall(0.25);
+    EXPECT_EQ(cpu.counters().stallCycles, 250u);
+    // A stall-only workload burns cycles and stall cycles in lockstep:
+    // both counters floor the same accumulated value.
+    EXPECT_EQ(cpu.counters().cycles, cpu.counters().stallCycles);
+}
+
+TEST(CpuModel, StallCountersReconcileUnderMixedLoad)
+{
+    // Drive a mix of memory stalls (scaled by memStallFactor < 1 on the
+    // P6), mispredicts and explicit fractional stalls, and check the
+    // stall counter stays consistent with total cycle progress: stalls
+    // can never exceed cycles, and must stay within one cycle of the
+    // cycle progress not explained by retired micro-ops.
+    System sys(tinySpec());
+    auto &cpu = sys.cpu();
+    for (int i = 0; i < 5000; ++i) {
+        cpu.load(static_cast<sim::Address>(i) * 64);
+        cpu.branch(i % 7 == 0);
+        cpu.stall(0.125);
+    }
+    const auto &c = cpu.counters();
+    EXPECT_LE(c.stallCycles, c.cycles);
+    const double baseWork =
+        static_cast<double>(c.instructions) * sys.spec().cpu.baseCpi;
+    const double unexplained =
+        static_cast<double>(c.cycles) - baseWork -
+        static_cast<double>(c.stallCycles);
+    EXPECT_NEAR(unexplained, 0.0, 2.0);
+}
+
 TEST(CpuModel, CacheMissStallsExposed)
 {
     System sys(tinySpec());

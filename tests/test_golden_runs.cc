@@ -1,0 +1,201 @@
+/**
+ * @file
+ * Golden-run regression tests.
+ *
+ * Pins the end-to-end architectural outcome (cycles, instructions,
+ * cache misses, DRAM accesses) and the ground-truth energy of two
+ * small deterministic runs — one Jikes configuration on the P6, one
+ * Kaffe configuration on the PXA255. Any change to the simulator that
+ * silently alters a single architectural event fails here with a
+ * field-by-field diff.
+ *
+ * These values gate the simulator fast path (DESIGN.md §5c): the
+ * MRU memo, the batched block accessors and the de-virtualized level
+ * dispatch must reproduce every counter and every joule bit-for-bit.
+ *
+ * Updating the goldens
+ * --------------------
+ * Only update after convincing yourself the change is an intentional
+ * model change (new cost constant, new event) — never to paper over
+ * an "optimization" that drifted. Run with
+ *
+ *     JAVELIN_GOLDEN_PRINT=1 ./test_golden_runs
+ *
+ * and paste the printed initializers over kGoldenJikes / kGoldenKaffe.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "harness/experiment.hh"
+
+using namespace javelin;
+
+namespace {
+
+/** The pinned architectural + energy outcome of one run. */
+struct Golden
+{
+    const char *name;
+    std::uint64_t cycles;
+    std::uint64_t instructions;
+    std::uint64_t l1iMisses;
+    std::uint64_t l1dMisses;
+    std::uint64_t l2Misses;
+    std::uint64_t dramAccesses;
+    std::uint64_t dramWritebacks;
+    double cpuJoules;
+    double memJoules;
+};
+
+bool
+printRequested()
+{
+    const char *p = std::getenv("JAVELIN_GOLDEN_PRINT");
+    return p != nullptr && p[0] != '\0' && p[0] != '0';
+}
+
+void
+printInitializer(const char *name, const harness::ExperimentResult &res)
+{
+    const auto &c = res.counters;
+    std::printf("constexpr Golden kGolden%s = {\n"
+                "    \"%s\",\n"
+                "    %lluu, %lluu, %lluu, %lluu, %lluu, %lluu, %lluu,\n"
+                "    %.17g, %.17g,\n"
+                "};\n",
+                name, name,
+                static_cast<unsigned long long>(c.cycles),
+                static_cast<unsigned long long>(c.instructions),
+                static_cast<unsigned long long>(c.l1iMisses),
+                static_cast<unsigned long long>(c.l1dMisses),
+                static_cast<unsigned long long>(c.l2Misses),
+                static_cast<unsigned long long>(c.dramAccesses),
+                static_cast<unsigned long long>(c.dramWritebacks),
+                res.groundTruthCpuJoules, res.groundTruthMemJoules);
+}
+
+/** Compare one run against its golden, printing a full diff table. */
+void
+expectGolden(const Golden &g, const harness::ExperimentResult &res)
+{
+    const auto &c = res.counters;
+    bool ok = c.cycles == g.cycles && c.instructions == g.instructions &&
+              c.l1iMisses == g.l1iMisses && c.l1dMisses == g.l1dMisses &&
+              c.l2Misses == g.l2Misses &&
+              c.dramAccesses == g.dramAccesses &&
+              c.dramWritebacks == g.dramWritebacks &&
+              res.groundTruthCpuJoules == g.cpuJoules &&
+              res.groundTruthMemJoules == g.memJoules;
+    if (ok)
+        return;
+
+    auto row = [](const char *field, double want, double got) {
+        std::fprintf(stderr, "  %-16s golden %-22.17g actual %-22.17g %s\n",
+                     field, want, got, want == got ? "" : "<-- DIFFERS");
+    };
+    std::fprintf(stderr, "golden-run mismatch for %s:\n", g.name);
+    row("cycles", static_cast<double>(g.cycles),
+        static_cast<double>(c.cycles));
+    row("instructions", static_cast<double>(g.instructions),
+        static_cast<double>(c.instructions));
+    row("l1iMisses", static_cast<double>(g.l1iMisses),
+        static_cast<double>(c.l1iMisses));
+    row("l1dMisses", static_cast<double>(g.l1dMisses),
+        static_cast<double>(c.l1dMisses));
+    row("l2Misses", static_cast<double>(g.l2Misses),
+        static_cast<double>(c.l2Misses));
+    row("dramAccesses", static_cast<double>(g.dramAccesses),
+        static_cast<double>(c.dramAccesses));
+    row("dramWritebacks", static_cast<double>(g.dramWritebacks),
+        static_cast<double>(c.dramWritebacks));
+    row("cpuJoules", g.cpuJoules, res.groundTruthCpuJoules);
+    row("memJoules", g.memJoules, res.groundTruthMemJoules);
+    std::fprintf(stderr,
+                 "If (and only if) this is an intentional model change, "
+                 "rerun with JAVELIN_GOLDEN_PRINT=1 and paste the new "
+                 "initializer into tests/test_golden_runs.cc.\n");
+    GTEST_FAIL() << "architectural state drifted from golden run "
+                 << g.name;
+}
+
+// ---------------------------------------------------------------------
+// Pinned values. Captured from the reference (pre-fast-path) simulator;
+// see the file header for the update procedure.
+// ---------------------------------------------------------------------
+
+constexpr Golden kGoldenJikes = {
+    "Jikes",
+    7439987u, 11194228u, 1590u, 132381u, 1341u, 41208u, 952u,
+    0.086085595916500238, 0.0026380981092500012,
+};
+
+constexpr Golden kGoldenKaffe = {
+    "Kaffe",
+    31860686u, 24782229u, 583u, 118168u, 0u, 118751u, 103705u,
+    0.022447970033750299, 0.0030677305831248725,
+};
+
+harness::ExperimentResult
+runJikes()
+{
+    harness::ExperimentConfig cfg;
+    cfg.platform = sim::PlatformKind::P6;
+    cfg.vm = jvm::VmKind::Jikes;
+    cfg.collector = jvm::CollectorKind::SemiSpace;
+    cfg.heapNominalMB = 32;
+    cfg.dataset = workloads::DatasetScale::Small;
+    return harness::runExperiment(cfg,
+                                  workloads::benchmark("_202_jess"));
+}
+
+harness::ExperimentResult
+runKaffe()
+{
+    harness::ExperimentConfig cfg;
+    cfg.platform = sim::PlatformKind::Pxa255;
+    cfg.vm = jvm::VmKind::Kaffe;
+    cfg.collector = jvm::CollectorKind::IncrementalMS;
+    cfg.heapNominalMB = 16;
+    cfg.dataset = workloads::DatasetScale::Small;
+    return harness::runExperiment(cfg,
+                                  workloads::benchmark("_201_compress"));
+}
+
+} // namespace
+
+TEST(GoldenRuns, JikesSemiSpaceP6)
+{
+    const auto res = runJikes();
+    ASSERT_TRUE(res.ok());
+    if (printRequested()) {
+        printInitializer("Jikes", res);
+        GTEST_SKIP() << "print mode: golden not checked";
+    }
+    expectGolden(kGoldenJikes, res);
+}
+
+TEST(GoldenRuns, KaffeIncMsPxa255)
+{
+    const auto res = runKaffe();
+    ASSERT_TRUE(res.ok());
+    if (printRequested()) {
+        printInitializer("Kaffe", res);
+        GTEST_SKIP() << "print mode: golden not checked";
+    }
+    expectGolden(kGoldenKaffe, res);
+}
+
+/** A golden run must be a pure function of its configuration. */
+TEST(GoldenRuns, RunsAreDeterministic)
+{
+    const auto a = runJikes();
+    const auto b = runJikes();
+    EXPECT_EQ(a.counters.cycles, b.counters.cycles);
+    EXPECT_EQ(a.counters.instructions, b.counters.instructions);
+    EXPECT_EQ(a.counters.dramAccesses, b.counters.dramAccesses);
+    EXPECT_EQ(a.groundTruthCpuJoules, b.groundTruthCpuJoules);
+    EXPECT_EQ(a.groundTruthMemJoules, b.groundTruthMemJoules);
+}

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Cross-tier differential tests.
+ *
+ * DESIGN.md §7 promises that compilation tiers differ only in *timing*:
+ * the interpreter, the baseline compiler, the Kaffe JIT and the
+ * adaptive optimizing system must all compute the same program result
+ * and allocate the same object graph. This suite runs identical
+ * workloads under every tier and asserts the semantic outcome — return
+ * value, bytecode count, allocation and GC object counts — is
+ * identical, while the timing outcome (cycles) is allowed to (and
+ * does) differ.
+ */
+
+#include <gtest/gtest.h>
+
+#include "jvm/jvm.hh"
+#include "sim/platform.hh"
+#include "workloads/program_builder.hh"
+#include "workloads/suite.hh"
+
+using namespace javelin;
+using namespace javelin::jvm;
+
+namespace {
+
+struct TierOutcome
+{
+    const char *label;
+    RunResult run;
+    std::uint64_t cycles;
+};
+
+TierOutcome
+runUnderTier(const Program &program, Tier tier, bool adaptive,
+             CollectorKind collector)
+{
+    sim::System system(sim::p6Spec());
+    JvmConfig cfg;
+    cfg.kind = VmKind::Jikes;
+    cfg.collector = collector;
+    cfg.heapBytes = 512 * kKiB;
+    cfg.interp.compileOnInvoke = tier;
+    cfg.adaptiveOptimization = adaptive;
+    Jvm vm(system, program, cfg);
+    TierOutcome out;
+    out.label = tierName(tier);
+    out.run = vm.run();
+    out.cycles = system.counters().cycles;
+    return out;
+}
+
+/** Assert two tier outcomes agree on everything semantic. */
+void
+expectSameSemantics(const TierOutcome &a, const TierOutcome &b)
+{
+    EXPECT_EQ(a.run.returnValue, b.run.returnValue)
+        << a.label << " vs " << b.label;
+    EXPECT_EQ(a.run.bytecodesExecuted, b.run.bytecodesExecuted)
+        << a.label << " vs " << b.label;
+    EXPECT_EQ(a.run.gc.objectsAllocated, b.run.gc.objectsAllocated)
+        << a.label << " vs " << b.label;
+    EXPECT_EQ(a.run.gc.bytesAllocated, b.run.gc.bytesAllocated)
+        << a.label << " vs " << b.label;
+    EXPECT_EQ(a.run.gc.collections, b.run.gc.collections)
+        << a.label << " vs " << b.label;
+    EXPECT_EQ(a.run.gc.objectsCopied, b.run.gc.objectsCopied)
+        << a.label << " vs " << b.label;
+    EXPECT_EQ(a.run.outOfMemory, b.run.outOfMemory)
+        << a.label << " vs " << b.label;
+}
+
+Program
+smallWorkload(const char *name)
+{
+    workloads::StudyScale scale =
+        workloads::studyScaleFor(workloads::DatasetScale::Small);
+    scale.volume = 1.0 / 16.0;
+    return workloads::buildProgram(workloads::benchmark(name), scale);
+}
+
+} // namespace
+
+class TierDiff : public testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(TierDiff, AllTiersSameSemantics)
+{
+    const Program program = smallWorkload(GetParam());
+
+    // Interpreter-only, baseline-only (no adaptive recompilation),
+    // Kaffe-style JIT, and the full adaptive optimizing configuration.
+    const auto interp = runUnderTier(program, Tier::Interpreted, false,
+                                     CollectorKind::SemiSpace);
+    const auto base = runUnderTier(program, Tier::Baseline, false,
+                                   CollectorKind::SemiSpace);
+    const auto jit = runUnderTier(program, Tier::Jitted, false,
+                                  CollectorKind::SemiSpace);
+    const auto opt = runUnderTier(program, Tier::Baseline, true,
+                                  CollectorKind::SemiSpace);
+
+    expectSameSemantics(interp, base);
+    expectSameSemantics(interp, jit);
+    expectSameSemantics(interp, opt);
+
+    // The tiers must NOT be timing-identical, or the cost model is
+    // vacuous: interpretation is strictly slower than compiled code.
+    EXPECT_GT(interp.cycles, base.cycles);
+}
+
+TEST_P(TierDiff, TiersAgreeAcrossCollectors)
+{
+    const Program program = smallWorkload(GetParam());
+    for (const auto kind :
+         {CollectorKind::MarkSweep, CollectorKind::GenCopy}) {
+        const auto interp =
+            runUnderTier(program, Tier::Interpreted, false, kind);
+        const auto base =
+            runUnderTier(program, Tier::Baseline, false, kind);
+        expectSameSemantics(interp, base);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Workloads, TierDiff,
+                         testing::Values("_202_jess", "_209_db"));
