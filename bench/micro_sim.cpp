@@ -9,6 +9,8 @@
 #include <benchmark/benchmark.h>
 
 #include "harness/experiment.hh"
+#include "jvm/jvm.hh"
+#include "jvm/method_builder.hh"
 #include "sim/platform.hh"
 #include "util/random.hh"
 
@@ -62,6 +64,53 @@ BM_PowerUpdate(benchmark::State &state)
 }
 
 void
+BM_InterpreterDispatch(benchmark::State &state)
+{
+    // ALU/branch-dense loop run entirely under the interpreted tier:
+    // no heap traffic, no GC, no compilation, so host time is dominated
+    // by the dispatch + cost-table hot path of Interpreter::run. Pins
+    // the threaded-dispatch rewrite's throughput independently of the
+    // end-to-end pipeline.
+    jvm::Program p;
+    p.name = "dispatch";
+    jvm::ClassInfo cls;
+    cls.id = 0;
+    cls.name = "Main";
+    p.classes.push_back(cls);
+    jvm::MethodBuilder mb(p, "main", 0);
+    const auto acc = mb.constant(0);
+    const auto one = mb.constant(1);
+    const auto tmp = mb.constant(3);
+    const auto n = mb.constant(50000);
+    const auto i = mb.constant(0);
+    const auto top = mb.here();
+    mb.emit(jvm::Op::IAdd, acc, acc, one);
+    mb.emit(jvm::Op::IXor, tmp, acc, i);
+    mb.emit(jvm::Op::ISub, acc, acc, tmp);
+    mb.emit(jvm::Op::IAdd, i, i, one);
+    const auto br = mb.emit(jvm::Op::IfLt, i, n, 0);
+    mb.patchTarget(br, top);
+    p.entry = mb.finishHalt();
+    p.layout();
+
+    std::uint64_t total_bytecodes = 0;
+    for (auto _ : state) {
+        sim::System system(sim::p6Spec());
+        jvm::JvmConfig cfg;
+        cfg.interp.compileOnInvoke = jvm::Tier::Interpreted;
+        cfg.adaptiveOptimization = false;
+        jvm::Jvm vm(system, p, cfg);
+        const auto r = vm.run();
+        benchmark::DoNotOptimize(r.returnValue);
+        total_bytecodes += r.bytecodesExecuted;
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(total_bytecodes));
+    state.counters["bytecodes_per_sec"] =
+        benchmark::Counter(static_cast<double>(total_bytecodes),
+                           benchmark::Counter::kIsRate);
+}
+
+void
 BM_EndToEndExperiment(benchmark::State &state)
 {
     // Full pipeline: build + run one small benchmark with measurement.
@@ -90,6 +139,7 @@ BENCHMARK(BM_CacheAccess)->Arg(14)->Arg(18)->Arg(24);
 BENCHMARK(BM_CpuExecute);
 BENCHMARK(BM_CpuLoadStore);
 BENCHMARK(BM_PowerUpdate);
+BENCHMARK(BM_InterpreterDispatch)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_EndToEndExperiment)->Unit(benchmark::kMillisecond);
 
 BENCHMARK_MAIN();

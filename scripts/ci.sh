@@ -1,19 +1,32 @@
 #!/bin/sh
-# Tier-1 gate: configure, build, and run the full test suite, then the
-# perf gate: a Release build of bench/micro_sim whose end-to-end
-# simulation throughput must stay within 10 % of the committed
-# BENCH_sim.json baseline (see scripts/compare_bench.py).
-# Mirrors what CI runs; keep it green before pushing.
+# Tier-1 gate: configure, build, and run the full test suite; then a
+# Debug ASan+UBSan pass over the same suite (the threaded-dispatch and
+# SoA hot paths lean on raw pointers and computed goto, exactly where
+# sanitizers earn their keep); then the perf gate: a Release build of
+# bench/micro_sim whose gated throughput metrics must stay within 10 %
+# of the committed BENCH_sim.json baseline (see
+# scripts/compare_bench.py). Mirrors what CI runs; keep it green before
+# pushing.
 set -eu
 
 cd "$(dirname "$0")/.."
 
-# --- correctness gate (includes the differential fuzzer and the
+# --- correctness gate (includes the differential fuzzers and the
 # --- golden-run regressions; see tests/test_cache_diff.cc and
 # --- tests/test_golden_runs.cc)
 cmake -B build -S .
 cmake --build build -j
 ctest --test-dir build --output-on-failure -j
+
+# --- sanitizer gate (skippable for quick iteration)
+if [ "${JAVELIN_SKIP_ASAN:-0}" = "1" ]; then
+    echo "ci.sh: JAVELIN_SKIP_ASAN=1, skipping the sanitizer gate"
+else
+    cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=Debug \
+        -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all"
+    cmake --build build-asan -j
+    ctest --test-dir build-asan --output-on-failure -j
+fi
 
 # --- perf gate (skippable for quick correctness-only runs)
 if [ "${JAVELIN_SKIP_BENCH:-0}" = "1" ]; then

@@ -4,22 +4,35 @@
 Usage: compare_bench.py BASELINE.json CURRENT.json [--max-regress FRAC]
 
 Both files are google-benchmark ``--benchmark_format=json`` output. The
-gate metric is the ``bytecodes_per_sec`` rate counter of
-``BM_EndToEndExperiment`` (host-side simulation throughput, the perf
-trajectory of ROADMAP.md); the remaining benchmarks are reported for
-context but do not gate, since nanosecond-scale micro-benchmarks are too
-noisy for a hard threshold.
+gated metrics are the throughput counters of the hot-path benchmarks:
 
-Exits non-zero when the gate metric regresses more than ``--max-regress``
-(default 10 %) below the baseline.
+  * BM_EndToEndExperiment   bytecodes_per_sec (the ROADMAP perf
+    trajectory: host-side simulation throughput of a full experiment)
+  * BM_InterpreterDispatch  bytecodes_per_sec (interpreted-tier
+    dispatch + cost-table hot path in isolation)
+  * BM_CacheAccess/{14,18,24}  items_per_second (the SoA cache model)
+
+A gate missing from the *baseline* is skipped with a note — older
+committed baselines predate the newer benchmarks — but a gate present
+in the baseline and missing from the current run is an error. The
+remaining benchmarks are reported for context only, since
+nanosecond-scale micro-benchmarks are too noisy for a hard threshold.
+
+Exits non-zero when any gated metric regresses more than
+``--max-regress`` (default 10 %) below the baseline.
 """
 
 import argparse
 import json
 import sys
 
-GATE_BENCH = "BM_EndToEndExperiment"
-GATE_COUNTER = "bytecodes_per_sec"
+GATES = [
+    ("BM_EndToEndExperiment", "bytecodes_per_sec"),
+    ("BM_InterpreterDispatch", "bytecodes_per_sec"),
+    ("BM_CacheAccess/14", "items_per_second"),
+    ("BM_CacheAccess/18", "items_per_second"),
+    ("BM_CacheAccess/24", "items_per_second"),
+]
 
 
 def load_rates(path):
@@ -37,7 +50,7 @@ def main():
     ap.add_argument("current")
     ap.add_argument("--max-regress", type=float, default=0.10,
                     help="maximum allowed fractional regression "
-                         "of the gate metric (default 0.10)")
+                         "of each gated metric (default 0.10)")
     args = ap.parse_args()
 
     base = load_rates(args.baseline)
@@ -52,25 +65,38 @@ def main():
                   f"{c['real_time']:>12.2f} {b.get('time_unit', 'ns')}"
                   f"  ({ratio:.2f}x)")
 
-    try:
-        base_rate = base[GATE_BENCH][GATE_COUNTER]
-        cur_rate = cur[GATE_BENCH][GATE_COUNTER]
-    except KeyError:
-        print(f"error: {GATE_BENCH}.{GATE_COUNTER} missing from "
-              f"baseline or current run", file=sys.stderr)
-        return 2
-
-    ratio = cur_rate / base_rate
-    print(f"\n{GATE_BENCH} {GATE_COUNTER}: "
-          f"baseline {base_rate / 1e6:.2f}M, current {cur_rate / 1e6:.2f}M "
-          f"({ratio:.2f}x baseline)")
-
     floor = 1.0 - args.max_regress
-    if ratio < floor:
-        print(f"FAIL: simulation throughput regressed below "
+    gated = 0
+    failed = []
+    print()
+    for bench, counter in GATES:
+        if bench not in base or counter not in base[bench]:
+            print(f"  {bench}.{counter}: not in baseline, skipped")
+            continue
+        if bench not in cur or counter not in cur[bench]:
+            print(f"error: gated metric {bench}.{counter} present in "
+                  f"the baseline but missing from the current run",
+                  file=sys.stderr)
+            return 2
+        base_rate = base[bench][counter]
+        cur_rate = cur[bench][counter]
+        ratio = cur_rate / base_rate
+        verdict = "ok" if ratio >= floor else "REGRESSED"
+        print(f"  {bench}.{counter}: baseline {base_rate / 1e6:.2f}M, "
+              f"current {cur_rate / 1e6:.2f}M ({ratio:.2f}x) {verdict}")
+        gated += 1
+        if ratio < floor:
+            failed.append(f"{bench}.{counter}")
+
+    if gated == 0:
+        print("error: no gated metric present in both runs",
+              file=sys.stderr)
+        return 2
+    if failed:
+        print(f"FAIL: {', '.join(failed)} regressed below "
               f"{floor:.2f}x of the committed baseline", file=sys.stderr)
         return 1
-    print("OK: within budget")
+    print(f"OK: all {gated} gated metrics within budget")
     return 0
 
 

@@ -76,19 +76,13 @@ Daq::sample(Tick now)
 double
 Daq::measuredCpuJoules() const
 {
-    double j = 0.0;
-    for (const auto &s : trace_)
-        j += s.cpuWatts * ticksToSeconds(s.windowTicks);
-    return j;
+    return integrateCpuJoules(trace_);
 }
 
 double
 Daq::measuredMemJoules() const
 {
-    double j = 0.0;
-    for (const auto &s : trace_)
-        j += s.memWatts * ticksToSeconds(s.windowTicks);
-    return j;
+    return integrateMemJoules(trace_);
 }
 
 } // namespace core

@@ -1,0 +1,27 @@
+#include "core/traces.hh"
+
+#include "util/kahan.hh"
+
+namespace javelin {
+namespace core {
+
+double
+integrateCpuJoules(const PowerTrace &trace)
+{
+    NeumaierSum j;
+    for (const auto &s : trace)
+        j.add(s.cpuWatts * ticksToSeconds(s.windowTicks));
+    return j.value();
+}
+
+double
+integrateMemJoules(const PowerTrace &trace)
+{
+    NeumaierSum j;
+    for (const auto &s : trace)
+        j.add(s.memWatts * ticksToSeconds(s.windowTicks));
+    return j.value();
+}
+
+} // namespace core
+} // namespace javelin

@@ -44,6 +44,17 @@ struct PowerSample
 using PowerTrace = std::vector<PowerSample>;
 
 /**
+ * Energy integral of the CPU channel: sum of cpuWatts * actual window
+ * over the trace, with compensated (Neumaier) summation so the result
+ * does not drift with trace length (see util/kahan.hh). Used by the
+ * DAQ's measured totals and by the drift regression tests.
+ */
+double integrateCpuJoules(const PowerTrace &trace);
+
+/** Energy integral of the memory channel; see integrateCpuJoules. */
+double integrateMemJoules(const PowerTrace &trace);
+
+/**
  * One HPM sample: performance-counter deltas over the OS timer period,
  * attributed to the component running at the sampling instant.
  */

@@ -1,9 +1,102 @@
 #include "jvm/interpreter.hh"
 
 #include <algorithm>
+#include <bit>
 
 namespace javelin {
 namespace jvm {
+
+namespace {
+
+/**
+ * Opcode list in enum order, used to build the threaded-dispatch label
+ * table and to pin the base micro-op table below to the enum layout.
+ */
+#define JAVELIN_FOR_EACH_OP(X) \
+    X(Nop) X(IConst) X(Move) X(IAdd) X(ISub) X(IMul) X(IDiv) X(IRem) \
+    X(IXor) X(FAdd) X(FMul) X(Rand) X(Goto) X(IfLt) X(IfGe) X(IfEq) \
+    X(IfNe) X(IfNull) X(IfNotNull) X(Call) X(Ret) X(New) X(NewArray) \
+    X(GetField) X(PutField) X(GetRef) X(PutRef) X(GetElem) X(PutElem) \
+    X(GetRefElem) X(PutRefElem) X(ArrayLen) X(GetStatic) X(PutStatic) \
+    X(NativeWork) X(Halt) X(NumOps)
+
+#define JAVELIN_OP_ENUM(name) Op::name,
+constexpr Op kOpOrder[] = {JAVELIN_FOR_EACH_OP(JAVELIN_OP_ENUM)};
+#undef JAVELIN_OP_ENUM
+
+constexpr bool
+opOrderMatchesEnum()
+{
+    for (std::size_t i = 0; i < kNumOps + 1; ++i)
+        if (kOpOrder[i] != static_cast<Op>(i))
+            return false;
+    return true;
+}
+
+static_assert(sizeof(kOpOrder) / sizeof(kOpOrder[0]) == kNumOps + 1,
+              "JAVELIN_FOR_EACH_OP must list every opcode plus NumOps");
+static_assert(opOrderMatchesEnum(),
+              "JAVELIN_FOR_EACH_OP must match the Op enum order");
+
+/**
+ * Division with the INT64_MIN / -1 overflow case defined as wrap
+ * (-fwrapv covers add/sub/mul but not division overflow). b / -1 is
+ * -b for every other b, so this only defines the one UB input.
+ */
+inline std::int64_t
+wrapDiv(std::int64_t a, std::int64_t b)
+{
+    if (b == -1)
+        return static_cast<std::int64_t>(-static_cast<std::uint64_t>(a));
+    return a / b;
+}
+
+/**
+ * Semantic micro-ops per opcode before the tier transform — exactly
+ * the literals the original switch passed to semUops(). Zero means the
+ * handler issues no semantic execute() at all (Nop, Goto, NativeWork,
+ * Halt and NumOps); those entries are never read.
+ */
+constexpr std::uint8_t kBaseUops[kNumOps] = {
+    0, // Nop
+    1, // IConst
+    1, // Move
+    1, // IAdd
+    1, // ISub
+    2, // IMul
+    8, // IDiv
+    8, // IRem
+    1, // IXor
+    3, // FAdd
+    4, // FMul
+    5, // Rand
+    0, // Goto
+    1, // IfLt
+    1, // IfGe
+    1, // IfEq
+    1, // IfNe
+    1, // IfNull
+    1, // IfNotNull
+    4, // Call
+    2, // Ret
+    3, // New
+    4, // NewArray
+    2, // GetField
+    2, // PutField
+    2, // GetRef
+    2, // PutRef
+    2, // GetElem
+    2, // PutElem
+    2, // GetRefElem
+    2, // PutRefElem
+    1, // ArrayLen
+    1, // GetStatic
+    1, // PutStatic
+    0, // NativeWork
+    0, // Halt
+};
+
+} // namespace
 
 Interpreter::Interpreter(sim::System &system, core::ComponentPort &port,
                          const Program &program, ObjectModel &om,
@@ -22,6 +115,53 @@ Interpreter::Interpreter(sim::System &system, core::ComponentPort &port,
     frames_.reserve(config_.maxStackDepth);
     intRegs_.reserve(4096);
     refRegs_.reserve(2048);
+    buildTierCosts();
+}
+
+void
+Interpreter::buildTierCosts()
+{
+    const auto &costs = compiler_.costs();
+    for (unsigned t = 0; t < 4; ++t) {
+        const Tier tier = static_cast<Tier>(t);
+        TierCost &tc = tierCosts_[t];
+        switch (tier) {
+          case Tier::Interpreted:
+            tc.dispatchUops = 12;
+            tc.bytesPerBc = 0; // dispatch fetches 48 B of handler code
+            break;
+          case Tier::Baseline:
+            tc.dispatchUops = 4;
+            tc.bytesPerBc = costs.baselineBytesPerBc;
+            break;
+          case Tier::Jitted:
+            tc.dispatchUops = 5;
+            tc.bytesPerBc = costs.jitBytesPerBc;
+            break;
+          case Tier::Optimized:
+            tc.dispatchUops = 2;
+            tc.bytesPerBc = costs.optBytesPerBc;
+            break;
+        }
+        // Frame-local spill/reload gate: the original spillOneIn was 4
+        // for optimized code and 1 otherwise — both powers of two, so
+        // the modulo becomes a mask and the counter behaves the same.
+        tc.spillMask = tier == Tier::Optimized ? 3u : 0u;
+        for (std::size_t op = 0; op < kNumOps; ++op) {
+            const std::uint32_t u = kBaseUops[op];
+            std::uint32_t v = u; // Interpreted/Baseline run it straight
+            if (tier == Tier::Optimized)
+                v = std::max<std::uint32_t>(1, (u * 7) >> 3);
+            else if (tier == Tier::Jitted)
+                v = u + (u >> 2); // naive code: ~25% more micro-ops
+            tc.uops[op] = static_cast<std::uint8_t>(v);
+        }
+    }
+
+    mispredictPow2_ = std::has_single_bit(config_.mispredictOneIn);
+    mispredictMask_ = mispredictPow2_ ? config_.mispredictOneIn - 1 : 0;
+    elidePow2_ = std::has_single_bit(config_.optElideOneIn);
+    elideMask_ = elidePow2_ ? config_.optElideOneIn - 1 : 0;
 }
 
 MethodId
@@ -109,61 +249,6 @@ Interpreter::popFrame(std::int64_t value)
     }
 }
 
-void
-Interpreter::chargeDispatch(const Frame &f, Op op)
-{
-    sim::CpuModel &cpu = system_.cpu();
-    const auto &costs = compiler_.costs();
-    switch (f.rt->tier) {
-      case Tier::Interpreted:
-        cpu.execute(12, kInterpreterCodeBase +
-                            static_cast<Address>(op) * 128, 48);
-        cpu.load(f.method->bytecodeAddr + f.pc * sizeof(Instruction));
-        break;
-      case Tier::Baseline:
-        cpu.execute(4, f.rt->codeAddr + f.pc * costs.baselineBytesPerBc,
-                    costs.baselineBytesPerBc);
-        break;
-      case Tier::Jitted:
-        cpu.execute(5, f.rt->codeAddr + f.pc * costs.jitBytesPerBc,
-                    costs.jitBytesPerBc);
-        break;
-      case Tier::Optimized:
-        cpu.execute(2, f.rt->codeAddr + f.pc * costs.optBytesPerBc,
-                    costs.optBytesPerBc);
-        break;
-    }
-
-    // Frame-local spill/reload traffic: baseline and JIT code keep the
-    // register file in the stack frame (L1-resident), optimized code
-    // keeps most of it in machine registers.
-    const std::uint32_t spillOneIn =
-        f.rt->tier == Tier::Optimized ? 4 : 1;
-    if ((++spillCounter_ % spillOneIn) == 0) {
-        const Address frame =
-            kStackBase + frames_.size() * 256;
-        cpu.load(frame + ((f.pc * 8) & 0xf8));
-    }
-}
-
-std::uint32_t
-Interpreter::semUops(const Frame &f, std::uint32_t uops) const
-{
-    if (f.rt->tier == Tier::Optimized)
-        return std::max<std::uint32_t>(1, (uops * 7) >> 3);
-    if (f.rt->tier == Tier::Jitted)
-        return uops + (uops >> 2); // naive code: ~25% more micro-ops
-    return uops;
-}
-
-bool
-Interpreter::elideFieldAccess(const Frame &f)
-{
-    if (f.rt->tier != Tier::Optimized)
-        return false;
-    return (++elideCounter_ % config_.optElideOneIn) == 0;
-}
-
 Address
 Interpreter::allocObject(ClassId cls_id, std::uint32_t array_len)
 {
@@ -178,6 +263,42 @@ Interpreter::allocObject(ClassId cls_id, std::uint32_t array_len)
     return addr;
 }
 
+std::uint32_t
+Interpreter::pollFreeIterations(const sim::CpuModel &cpu) const
+{
+    const Tick due = system_.nextTaskDue();
+    const Tick now = cpu.now();
+    if (due <= now)
+        return 1; // a task is due: poll right after the next iteration
+    const Tick slack = due - now;
+
+    // Conservative bound on how far one full chunk iteration (64-uop
+    // execute spanning 256 code bytes + one load) can advance time:
+    // every access takes its worst-case penalty (L1 dirty victim, L2
+    // miss with dirty victim, DRAM, prefetch catch-up) and stalls are
+    // never overlapped. The true advance is strictly smaller, so polls
+    // skipped inside the bound are provably no-ops.
+    const auto &mem = system_.memory().config();
+    const double maxPenalty =
+        2.0 * mem.writebackCycles + mem.l2HitCycles +
+        static_cast<double>(mem.dramCycles) +
+        static_cast<double>(mem.dramCycles) / 3.0;
+    const double penaltyScale =
+        std::max(1.0, cpu.config().memStallFactor);
+    const double maxAccesses = 256.0 / mem.l1i.lineBytes + 2.0;
+    const double maxCycles = 65.0 * cpu.config().baseCpi +
+                             (maxAccesses + 1.0) * maxPenalty *
+                                 penaltyScale +
+                             16.0;
+    const double maxTicksPerIter =
+        maxCycles * cpu.effectivePeriodTicks() * 1.0625 + 2.0;
+
+    const double iters = static_cast<double>(slack) / maxTicksPerIter;
+    if (iters >= 4.0e9)
+        return 0xFFFFFFFFu;
+    return static_cast<std::uint32_t>(iters) + 1;
+}
+
 void
 Interpreter::doNativeWork(std::uint32_t uops, std::uint32_t bytes)
 {
@@ -186,6 +307,29 @@ Interpreter::doNativeWork(std::uint32_t uops, std::uint32_t bytes)
     std::uint32_t remaining = uops;
     std::uint32_t off = 0;
     while (remaining > 0 || off < bytes) {
+        // Hoisted-poll fast path: a run of full 64-uop + 64-byte-load
+        // iterations short enough that no periodic task can come due
+        // before it ends (pollFreeIterations), issued through the
+        // order-preserving mixed block, then one poll at exactly the
+        // tick the per-iteration loop would have polled next.
+        if (remaining >= 64 && off + 64 <= bytes) {
+            const std::uint32_t full =
+                std::min(remaining / 64, (bytes - off) / 64);
+            const std::uint32_t n =
+                std::min(full, pollFreeIterations(cpu));
+            if (n > 1) {
+                cpu.execLoadBlock(n, 64, kVmCodeBase + 0x1c000, 64 * 4,
+                                  kNativeBase, nativeCursor_,
+                                  kWindow - 1, 64);
+                remaining -= n * 64;
+                off += n * 64;
+                nativeCursor_ += static_cast<std::uint64_t>(n) * 64;
+                system_.poll();
+                continue;
+            }
+        }
+        // Ragged head/tail (and task-imminent) iterations keep the
+        // original per-iteration sequence and poll cadence.
         const std::uint32_t chunk = std::min<std::uint32_t>(remaining, 64);
         if (chunk)
             cpu.execute(chunk, kVmCodeBase + 0x1c000, chunk * 4);
@@ -199,6 +343,70 @@ Interpreter::doNativeWork(std::uint32_t uops, std::uint32_t bytes)
     }
 }
 
+/**
+ * Threaded dispatch uses the GNU computed-goto extension; any other
+ * compiler (or -DJAVELIN_NO_COMPUTED_GOTO) gets the portable switch.
+ * Both modes share the handler bodies in interpreter_ops.inc.
+ */
+#if defined(__GNUC__) && !defined(JAVELIN_NO_COMPUTED_GOTO)
+#define JAVELIN_THREADED_DISPATCH 1
+#else
+#define JAVELIN_THREADED_DISPATCH 0
+#endif
+
+/**
+ * Per-bytecode front end, identical for both dispatch modes and to the
+ * original chargeDispatch(): refresh the frame/instruction/cost views,
+ * charge the dispatch execute (plus the bytecode operand fetch when
+ * interpreted), gate the frame-spill load, and count the bytecode.
+ */
+#define JAVELIN_FETCH_CHARGE() \
+    do { \
+        f = &frames_.back(); \
+        JAVELIN_ASSERT(f->pc < f->method->code.size(), \
+                       "pc fell off method ", f->method->name); \
+        in = &f->method->code[f->pc]; \
+        rt = f->rt; \
+        tc = &tierCosts_[static_cast<unsigned>(rt->tier)]; \
+        if (rt->tier == Tier::Interpreted) { \
+            cpu.execute(tc->dispatchUops, \
+                        kInterpreterCodeBase + \
+                            static_cast<Address>(in->op) * 128, \
+                        48); \
+            cpu.load(f->method->bytecodeAddr + \
+                     f->pc * sizeof(Instruction)); \
+        } else { \
+            cpu.execute(tc->dispatchUops, \
+                        rt->codeAddr + f->pc * tc->bytesPerBc, \
+                        tc->bytesPerBc); \
+        } \
+        if (((++spillCounter_) & tc->spillMask) == 0) \
+            cpu.load(kStackBase + frames_.size() * 256 + \
+                     ((f->pc * 8) & 0xf8)); \
+        ++executed_; \
+        ir = intRegs_.data() + f->intBase; \
+        rr = refRegs_.data() + f->refBase; \
+        next = f->pc + 1; \
+    } while (0)
+
+/** Safepoint tail run after every bytecode (including Call/Ret/Halt). */
+#define JAVELIN_TAIL_CHECKS() \
+    do { \
+        if (--pollCountdown == 0) { \
+            pollCountdown = config_.pollInterval; \
+            system_.poll(); \
+        } \
+        if (--quantumCountdown == 0) { \
+            quantumCountdown = config_.quantumBytecodes; \
+            if (onQuantum) \
+                onQuantum(); \
+        } \
+    } while (0)
+
+/** Charge Op::name's semantic micro-ops from the tier cost table. */
+#define JAVELIN_SEM_EXEC(name) \
+    cpu.execute(tc->uops[static_cast<unsigned>(Op::name)], 0, 0)
+
 std::int64_t
 Interpreter::run(MethodId entry)
 {
@@ -211,270 +419,91 @@ Interpreter::run(MethodId entry)
     std::uint32_t pollCountdown = config_.pollInterval;
     std::uint32_t quantumCountdown = config_.quantumBytecodes;
 
+    // Per-bytecode views, refreshed by JAVELIN_FETCH_CHARGE.
+    Frame *f = nullptr;
+    const Instruction *in = nullptr;
+    const MethodRuntime *rt = nullptr;
+    const TierCost *tc = nullptr;
+    std::int64_t *ir = nullptr;
+    Address *rr = nullptr;
+    std::uint32_t next = 0;
+
+#if JAVELIN_THREADED_DISPATCH
+
+    static const void *const kLabels[] = {
+#define JAVELIN_OP_LABEL(name) &&javelin_op_##name,
+        JAVELIN_FOR_EACH_OP(JAVELIN_OP_LABEL)
+#undef JAVELIN_OP_LABEL
+    };
+    static_assert(sizeof(kLabels) / sizeof(kLabels[0]) == kNumOps + 1);
+
+#define JAVELIN_DISPATCH_NEXT() \
+    do { \
+        if (frames_.empty() || halted_) \
+            goto javelin_run_done; \
+        JAVELIN_FETCH_CHARGE(); \
+        goto *kLabels[static_cast<unsigned>(in->op)]; \
+    } while (0)
+
+    // Entry: frames_ is non-empty and halted_ false after pushFrame.
+    JAVELIN_FETCH_CHARGE();
+    goto *kLabels[static_cast<unsigned>(in->op)];
+
+#define JAVELIN_OP(name) javelin_op_##name: {
+#define JAVELIN_OP_END \
+    } \
+    f->pc = next; \
+    JAVELIN_TAIL_CHECKS(); \
+    JAVELIN_DISPATCH_NEXT();
+#define JAVELIN_OP_END_FRAME \
+    } \
+    JAVELIN_TAIL_CHECKS(); \
+    JAVELIN_DISPATCH_NEXT();
+
+#include "jvm/interpreter_ops.inc"
+
+#undef JAVELIN_OP
+#undef JAVELIN_OP_END
+#undef JAVELIN_OP_END_FRAME
+#undef JAVELIN_DISPATCH_NEXT
+
+javelin_run_done:;
+
+#else // !JAVELIN_THREADED_DISPATCH
+
     while (!frames_.empty() && !halted_) {
-        Frame &f = frames_.back();
-        JAVELIN_ASSERT(f.pc < f.method->code.size(),
-                       "pc fell off method ", f.method->name);
-        const Instruction &in = f.method->code[f.pc];
-        chargeDispatch(f, in.op);
-        ++executed_;
+        JAVELIN_FETCH_CHARGE();
+        switch (in->op) {
+#define JAVELIN_OP(name) case Op::name: {
+#define JAVELIN_OP_END \
+    } \
+    f->pc = next; \
+    break;
+#define JAVELIN_OP_END_FRAME \
+    } \
+    break;
 
-        // Register-file views for this frame.
-        std::int64_t *ir = intRegs_.data() + f.intBase;
-        Address *rr = refRegs_.data() + f.refBase;
+#include "jvm/interpreter_ops.inc"
 
-        std::uint32_t next = f.pc + 1;
-        switch (in.op) {
-          case Op::Nop:
-            break;
-          case Op::IConst:
-            cpu.execute(semUops(f, 1), 0, 0);
-            ir[in.a] = in.b;
-            break;
-          case Op::Move:
-            cpu.execute(semUops(f, 1), 0, 0);
-            ir[in.a] = ir[in.b];
-            break;
-          case Op::IAdd:
-            cpu.execute(semUops(f, 1), 0, 0);
-            ir[in.a] = ir[in.b] + ir[in.c];
-            break;
-          case Op::ISub:
-            cpu.execute(semUops(f, 1), 0, 0);
-            ir[in.a] = ir[in.b] - ir[in.c];
-            break;
-          case Op::IMul:
-            cpu.execute(semUops(f, 2), 0, 0);
-            ir[in.a] = ir[in.b] * ir[in.c];
-            break;
-          case Op::IDiv:
-            cpu.execute(semUops(f, 8), 0, 0);
-            ir[in.a] = ir[in.c] != 0 ? ir[in.b] / ir[in.c] : 0;
-            break;
-          case Op::IRem:
-            cpu.execute(semUops(f, 8), 0, 0);
-            ir[in.a] = ir[in.c] != 0 ? ir[in.b] % ir[in.c] : 0;
-            break;
-          case Op::IXor:
-            cpu.execute(semUops(f, 1), 0, 0);
-            ir[in.a] = ir[in.b] ^ ir[in.c];
-            break;
-          case Op::FAdd:
-            cpu.execute(semUops(f, 3), 0, 0);
-            // FP pipelines expose latency on dependent accumulations.
-            cpu.stall(2.5);
-            ir[in.a] = ir[in.b] + ir[in.c];
-            break;
-          case Op::FMul:
-            cpu.execute(semUops(f, 4), 0, 0);
-            cpu.stall(3.5);
-            ir[in.a] = ir[in.b] * ir[in.c];
-            break;
-          case Op::Rand: {
-            cpu.execute(semUops(f, 5), 0, 0);
-            const std::int64_t bound = ir[in.b];
-            ir[in.a] = bound > 0
-                ? static_cast<std::int64_t>(rng_.uniformInt(
-                      static_cast<std::uint64_t>(bound)))
-                : 0;
-            break;
-          }
-          case Op::Goto:
-            cpu.branch(false);
-            next = static_cast<std::uint32_t>(in.a);
-            break;
-          case Op::IfLt:
-          case Op::IfGe:
-          case Op::IfEq:
-          case Op::IfNe: {
-            cpu.execute(semUops(f, 1), 0, 0);
-            bool taken = false;
-            switch (in.op) {
-              case Op::IfLt: taken = ir[in.a] < ir[in.b]; break;
-              case Op::IfGe: taken = ir[in.a] >= ir[in.b]; break;
-              case Op::IfEq: taken = ir[in.a] == ir[in.b]; break;
-              default:       taken = ir[in.a] != ir[in.b]; break;
-            }
-            const bool mispredict =
-                taken && (++branchCounter_ % config_.mispredictOneIn) == 0;
-            cpu.branch(mispredict);
-            if (taken)
-                next = static_cast<std::uint32_t>(in.c);
-            break;
-          }
-          case Op::IfNull:
-          case Op::IfNotNull: {
-            cpu.execute(semUops(f, 1), 0, 0);
-            const bool taken = (in.op == Op::IfNull)
-                ? rr[in.a] == kNull
-                : rr[in.a] != kNull;
-            cpu.branch(false);
-            if (taken)
-                next = static_cast<std::uint32_t>(in.b);
-            break;
-          }
-          case Op::Call: {
-            cpu.execute(semUops(f, 4), 0, 0);
-            f.pc = next; // resume point after return
-            pushFrame(static_cast<MethodId>(in.b), &f, in.a, in.c, in.d);
-            goto frame_changed;
-          }
-          case Op::Ret: {
-            cpu.execute(semUops(f, 2), 0, 0);
-            popFrame(ir[in.a]);
-            goto frame_changed;
-          }
-          case Op::New: {
-            cpu.execute(semUops(f, 3), 0, 0);
-            const Address obj =
-                allocObject(static_cast<ClassId>(in.b), 0);
-            // Re-fetch the frame register view: a collection may have
-            // run and frames_/refRegs_ storage may have been reused.
-            refRegs_[frames_.back().refBase + in.a] = obj;
-            break;
-          }
-          case Op::NewArray: {
-            cpu.execute(semUops(f, 4), 0, 0);
-            const std::int64_t len = std::max<std::int64_t>(0, ir[in.c]);
-            const Address obj = allocObject(
-                static_cast<ClassId>(in.b),
-                static_cast<std::uint32_t>(len));
-            refRegs_[frames_.back().refBase + in.a] = obj;
-            break;
-          }
-          case Op::GetField: {
-            const Address obj = rr[in.b];
-            JAVELIN_ASSERT(obj != kNull, "null getfield in ",
-                           f.method->name);
-            cpu.execute(semUops(f, 2), 0, 0);
-            if (elideFieldAccess(f))
-                ir[in.a] = om_.scalarRaw(obj,
-                                         static_cast<std::uint32_t>(in.c));
-            else
-                ir[in.a] = om_.loadScalar(
-                    obj, static_cast<std::uint32_t>(in.c));
-            break;
-          }
-          case Op::PutField: {
-            const Address obj = rr[in.a];
-            JAVELIN_ASSERT(obj != kNull, "null putfield in ",
-                           f.method->name);
-            cpu.execute(semUops(f, 2), 0, 0);
-            om_.storeScalar(obj, static_cast<std::uint32_t>(in.b),
-                            ir[in.c]);
-            break;
-          }
-          case Op::GetRef: {
-            const Address obj = rr[in.b];
-            JAVELIN_ASSERT(obj != kNull, "null getref");
-            cpu.execute(semUops(f, 2), 0, 0);
-            rr[in.a] = om_.loadRef(obj, static_cast<std::uint32_t>(in.c));
-            break;
-          }
-          case Op::PutRef: {
-            const Address obj = rr[in.a];
-            JAVELIN_ASSERT(obj != kNull, "null putref");
-            cpu.execute(semUops(f, 2), 0, 0);
-            const Address value = rr[in.c];
-            const auto slot = static_cast<std::uint32_t>(in.b);
-            if (needsBarrier_)
-                collector_.writeBarrier(obj, om_.refSlotAddr(obj, slot),
-                                        value);
-            om_.storeRef(obj, slot, value);
-            break;
-          }
-          case Op::GetElem: {
-            const Address arr = rr[in.b];
-            JAVELIN_ASSERT(arr != kNull, "null getelem");
-            const auto idx = static_cast<std::uint32_t>(ir[in.c]);
-            JAVELIN_ASSERT(idx < om_.arrayLenRaw(arr),
-                           "getelem index out of bounds");
-            cpu.execute(semUops(f, 2), 0, 0);
-            if (elideFieldAccess(f))
-                ir[in.a] = om_.scalarRaw(arr, idx);
-            else
-                ir[in.a] = om_.loadScalar(arr, idx);
-            break;
-          }
-          case Op::PutElem: {
-            const Address arr = rr[in.a];
-            JAVELIN_ASSERT(arr != kNull, "null putelem");
-            const auto idx = static_cast<std::uint32_t>(ir[in.b]);
-            JAVELIN_ASSERT(idx < om_.arrayLenRaw(arr),
-                           "putelem index out of bounds");
-            cpu.execute(semUops(f, 2), 0, 0);
-            om_.storeScalar(arr, idx, ir[in.c]);
-            break;
-          }
-          case Op::GetRefElem: {
-            const Address arr = rr[in.b];
-            JAVELIN_ASSERT(arr != kNull, "null getrefelem");
-            const auto idx = static_cast<std::uint32_t>(ir[in.c]);
-            JAVELIN_ASSERT(idx < om_.arrayLenRaw(arr),
-                           "getrefelem index out of bounds");
-            cpu.execute(semUops(f, 2), 0, 0);
-            rr[in.a] = om_.loadRef(arr, idx);
-            break;
-          }
-          case Op::PutRefElem: {
-            const Address arr = rr[in.a];
-            JAVELIN_ASSERT(arr != kNull, "null putrefelem");
-            const auto idx = static_cast<std::uint32_t>(ir[in.b]);
-            JAVELIN_ASSERT(idx < om_.arrayLenRaw(arr),
-                           "putrefelem index out of bounds");
-            cpu.execute(semUops(f, 2), 0, 0);
-            const Address value = rr[in.c];
-            if (needsBarrier_)
-                collector_.writeBarrier(arr, om_.refSlotAddr(arr, idx),
-                                        value);
-            om_.storeRef(arr, idx, value);
-            break;
-          }
-          case Op::ArrayLen: {
-            const Address arr = rr[in.b];
-            JAVELIN_ASSERT(arr != kNull, "null arraylen");
-            cpu.execute(semUops(f, 1), 0, 0);
-            cpu.load(arr + kAuxOffset);
-            ir[in.a] = om_.arrayLenRaw(arr);
-            break;
-          }
-          case Op::GetStatic:
-            cpu.execute(semUops(f, 1), 0, 0);
-            rr[in.a] = statics_.load(static_cast<std::uint32_t>(in.b));
-            break;
-          case Op::PutStatic:
-            cpu.execute(semUops(f, 1), 0, 0);
-            statics_.store(static_cast<std::uint32_t>(in.a), rr[in.b]);
-            break;
-          case Op::NativeWork:
-            doNativeWork(static_cast<std::uint32_t>(in.a),
-                         static_cast<std::uint32_t>(in.b));
-            break;
-          case Op::Halt:
-            halted_ = true;
-            break;
-          case Op::NumOps:
-            JAVELIN_PANIC("invalid opcode executed");
+#undef JAVELIN_OP
+#undef JAVELIN_OP_END
+#undef JAVELIN_OP_END_FRAME
         }
-        f.pc = next;
-
-      frame_changed:
-        if (--pollCountdown == 0) {
-            pollCountdown = config_.pollInterval;
-            system_.poll();
-        }
-        if (--quantumCountdown == 0) {
-            quantumCountdown = config_.quantumBytecodes;
-            if (onQuantum)
-                onQuantum();
-        }
+        JAVELIN_TAIL_CHECKS();
     }
+
+#endif // JAVELIN_THREADED_DISPATCH
 
     frames_.clear();
     intRegs_.clear();
     refRegs_.clear();
     return result_;
 }
+
+#undef JAVELIN_SEM_EXEC
+#undef JAVELIN_TAIL_CHECKS
+#undef JAVELIN_FETCH_CHARGE
+#undef JAVELIN_FOR_EACH_OP
 
 } // namespace jvm
 } // namespace javelin

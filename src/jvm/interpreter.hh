@@ -18,6 +18,14 @@
  * The engine polls the system's periodic tasks at bytecode granularity
  * (the safepoint mechanism) and yields to service work — the optimizing
  * compiler thread — every scheduling quantum.
+ *
+ * Dispatch is threaded (computed-goto) where the compiler supports it,
+ * with a portable switch fallback (define JAVELIN_NO_COMPUTED_GOTO to
+ * force it); both paths share one set of opcode handler bodies
+ * (interpreter_ops.inc) and drive the cost model from a per-tier,
+ * per-opcode precomputed table, so the architectural event stream is
+ * identical in either mode and to the original switch loop
+ * (DESIGN.md §5d, pinned by tests/test_golden_runs.cc).
  */
 
 #ifndef JAVELIN_JVM_INTERPRETER_HH
@@ -107,15 +115,56 @@ class Interpreter
         std::int32_t retDst;
     };
 
+    /**
+     * Per-tier cost table, precomputed at construction (DESIGN.md §5d):
+     * the dispatch overhead, code stride, spill-gate mask and the
+     * semUops tier transform folded into a per-opcode micro-op count.
+     */
+    struct TierCost
+    {
+        /** Micro-ops charged per bytecode dispatch. */
+        std::uint32_t dispatchUops = 0;
+        /** Emitted bytes per bytecode (compiled tiers' code stride). */
+        std::uint32_t bytesPerBc = 0;
+        /** Spill load fires when (++spillCounter_ & mask) == 0. */
+        std::uint32_t spillMask = 0;
+        /** Semantic micro-ops per opcode after the tier transform. */
+        std::uint8_t uops[kNumOps] = {};
+    };
+
     void pushFrame(MethodId id, const Frame *caller, std::int32_t ret_dst,
                    std::int32_t int_arg_base, std::int32_t ref_arg_base);
     void popFrame(std::int64_t value);
     void prepareMethod(MethodId id);
-    void chargeDispatch(const Frame &f, Op op);
-    std::uint32_t semUops(const Frame &f, std::uint32_t uops) const;
-    bool elideFieldAccess(const Frame &f);
+    void buildTierCosts();
+
+    /** Taken-branch mispredict gate; counts and fires exactly like the
+     *  original (++branchCounter_ % mispredictOneIn) == 0. */
+    bool
+    fireMispredict()
+    {
+        ++branchCounter_;
+        return mispredictPow2_
+            ? (branchCounter_ & mispredictMask_) == 0
+            : branchCounter_ % config_.mispredictOneIn == 0;
+    }
+
+    bool
+    elideFieldAccess(const Frame &f)
+    {
+        if (f.rt->tier != Tier::Optimized)
+            return false;
+        ++elideCounter_;
+        return elidePow2_ ? (elideCounter_ & elideMask_) == 0
+                          : elideCounter_ % config_.optElideOneIn == 0;
+    }
+
     Address allocObject(ClassId cls_id, std::uint32_t array_len);
     void doNativeWork(std::uint32_t uops, std::uint32_t bytes);
+
+    /** Iterations of doNativeWork's full chunk guaranteed not to reach
+     *  the next periodic-task deadline (always >= 1; see DESIGN §5d). */
+    std::uint32_t pollFreeIterations(const sim::CpuModel &cpu) const;
 
     sim::System &system_;
     core::ComponentPort &port_;
@@ -128,6 +177,12 @@ class Interpreter
     Statics &statics_;
     Config config_;
     Rng rng_;
+
+    TierCost tierCosts_[4]; // indexed by static_cast<unsigned>(Tier)
+    std::uint32_t mispredictMask_ = 0;
+    std::uint32_t elideMask_ = 0;
+    bool mispredictPow2_ = true;
+    bool elidePow2_ = true;
 
     std::vector<Frame> frames_;
     std::vector<std::int64_t> intRegs_;

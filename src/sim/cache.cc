@@ -10,9 +10,9 @@ namespace sim {
 Cache::Cache(const Config &config)
     : config_(config)
 {
-    JAVELIN_ASSERT(config_.lineBytes > 0 &&
+    JAVELIN_ASSERT(config_.lineBytes >= 2 &&
                    std::has_single_bit(config_.lineBytes),
-                   "cache line size must be a power of two");
+                   "cache line size must be a power of two >= 2");
     JAVELIN_ASSERT(config_.assoc > 0, "cache associativity must be > 0");
     JAVELIN_ASSERT(config_.sizeBytes %
                    (static_cast<std::uint64_t>(config_.lineBytes) *
@@ -28,96 +28,110 @@ Cache::Cache(const Config &config)
     lineShift_ = static_cast<std::uint32_t>(
         std::countr_zero(config_.lineBytes));
     setMask_ = numSets_ - 1;
-    ways_.resize(static_cast<std::size_t>(numSets_) * config_.assoc);
+
+    const std::size_t ways =
+        static_cast<std::size_t>(numSets_) * config_.assoc;
+    tags_.assign(ways + 1, kInvalidTag);
+    meta_.assign(ways, Meta());
+    mru_ = static_cast<std::uint32_t>(ways);
+    mru2_ = static_cast<std::uint32_t>(ways);
+}
+
+std::uint32_t
+Cache::pickVictim(std::uint32_t base) const
+{
+    const Meta *meta = meta_.data() + base;
+    std::uint32_t victim = 0;
+    for (std::uint32_t w = 0; w < config_.assoc; ++w) {
+        if (!meta[w].valid)
+            victim = w; // free way always preferred
+        else if (meta[victim].valid &&
+                 meta[w].lastUse < meta[victim].lastUse)
+            victim = w;
+    }
+    return victim;
 }
 
 Cache::Result
 Cache::accessSlow(Address line, bool is_write)
 {
-    const std::uint32_t set = setIndex(line);
-    Way *base = &ways_[static_cast<std::size_t>(set) * config_.assoc];
-    ++useClock_;
+    const std::uint32_t base = setIndex(line) * config_.assoc;
+    const Address *tags = tags_.data() + base;
 
-    if (is_write)
-        ++stats_.writes;
-    else
-        ++stats_.reads;
-
-    Way *victim = base;
     for (std::uint32_t w = 0; w < config_.assoc; ++w) {
-        Way &way = base[w];
-        if (way.valid && way.tag == line) {
-            way.lastUse = useClock_;
-            way.dirty = way.dirty || is_write;
-            const bool was_prefetched = way.prefetched;
-            way.prefetched = false;
-            mru_ = static_cast<std::uint32_t>(&way - ways_.data());
-            return {true, false, was_prefetched};
-        }
-        if (!way.valid) {
-            victim = &way; // free way always preferred
-        } else if (victim->valid && way.lastUse < victim->lastUse) {
-            victim = &way;
+        if (tags[w] == line) {
+            mru2_ = mru_;
+            mru_ = base + w;
+            return hitWay(base + w, is_write);
         }
     }
 
     // Miss: allocate into the victim (fetch-on-write policy for stores).
-    if (is_write)
+    ++useClock_;
+    if (is_write) {
+        ++stats_.writes;
         ++stats_.writeMisses;
-    else
+    } else {
+        ++stats_.reads;
         ++stats_.readMisses;
+    }
 
-    const bool writeback = victim->valid && victim->dirty;
+    const std::uint32_t victim = base + pickVictim(base);
+    Meta &vm = meta_[victim];
+    const bool writeback = vm.valid && vm.dirty;
     if (writeback)
         ++stats_.writebacks;
-    victim->valid = true;
-    victim->tag = line;
-    victim->lastUse = useClock_;
-    victim->dirty = is_write;
-    victim->prefetched = false;
-    mru_ = static_cast<std::uint32_t>(victim - ways_.data());
+    vm.valid = true;
+    vm.lastUse = useClock_;
+    vm.dirty = is_write;
+    vm.prefetched = false;
+    tags_[victim] = line;
+    mru2_ = mru_;
+    mru_ = victim;
     return {false, writeback, false};
 }
 
-void
+bool
 Cache::insertPrefetch(Address addr)
 {
     const Address line = lineNumber(addr);
-    const std::uint32_t set = setIndex(line);
-    Way *base = &ways_[static_cast<std::size_t>(set) * config_.assoc];
+    // The LRU clock always advances, resident or not, matching the
+    // pre-SoA scan (a lone clock tick with no lastUse write is
+    // unobservable: only the relative order of lastUse values matters).
     ++useClock_;
+    if (tags_[mru_] == line || tags_[mru2_] == line)
+        return false; // already resident (memoized) — no state change
+    const std::uint32_t base = setIndex(line) * config_.assoc;
+    const Address *tags = tags_.data() + base;
+    for (std::uint32_t w = 0; w < config_.assoc; ++w)
+        if (tags[w] == line)
+            return false; // already resident
 
-    Way *victim = base;
-    for (std::uint32_t w = 0; w < config_.assoc; ++w) {
-        Way &way = base[w];
-        if (way.valid && way.tag == line)
-            return; // already resident
-        if (!way.valid)
-            victim = &way;
-        else if (victim->valid && way.lastUse < victim->lastUse)
-            victim = &way;
-    }
-    if (victim->valid && victim->dirty)
+    const std::uint32_t victim = base + pickVictim(base);
+    Meta &vm = meta_[victim];
+    if (vm.valid && vm.dirty)
         ++stats_.writebacks;
-    victim->valid = true;
-    victim->tag = line;
-    victim->lastUse = useClock_;
-    victim->dirty = false;
-    victim->prefetched = true;
+    vm.valid = true;
+    vm.lastUse = useClock_;
+    vm.dirty = false;
+    vm.prefetched = true;
+    tags_[victim] = line;
     // A demand stream catching up with the prefetcher hits this line
     // next, so memoizing the inserted way helps; the fast path
     // re-validates the tag, so a stale memo can never corrupt state.
-    mru_ = static_cast<std::uint32_t>(victim - ways_.data());
+    mru2_ = mru_;
+    mru_ = victim;
+    return true;
 }
 
 bool
 Cache::contains(Address addr) const
 {
     const Address line = lineNumber(addr);
-    const std::uint32_t set = setIndex(line);
-    const Way *base = &ways_[static_cast<std::size_t>(set) * config_.assoc];
+    const std::uint32_t base = setIndex(line) * config_.assoc;
+    const Address *tags = tags_.data() + base;
     for (std::uint32_t w = 0; w < config_.assoc; ++w)
-        if (base[w].valid && base[w].tag == line)
+        if (tags[w] == line)
             return true;
     return false;
 }
@@ -125,10 +139,12 @@ Cache::contains(Address addr) const
 void
 Cache::flush()
 {
-    for (auto &way : ways_)
-        way = Way();
+    const std::size_t ways = meta_.size();
+    tags_.assign(ways + 1, kInvalidTag);
+    meta_.assign(ways, Meta());
     useClock_ = 0;
-    mru_ = kNoMru;
+    mru_ = static_cast<std::uint32_t>(ways);
+    mru2_ = static_cast<std::uint32_t>(ways);
 }
 
 } // namespace sim

@@ -8,14 +8,24 @@
  * this class only tracks hit/miss/victim state and statistics.
  *
  * The access path is split into an inlined MRU fast path and an
- * out-of-line way scan (DESIGN.md §5c): the model remembers the way it
- * touched last, and a repeated hit on the same line — the dominant
- * pattern for straight-line instruction fetch and field loops — skips
- * the scan entirely. The memo is purely an index: the fast path
- * re-validates tag and valid bit, and performs exactly the same LRU
- * clock, dirty-bit and statistics updates as the scan, so no
- * architectural event ever differs (tests/test_cache_diff.cc holds an
- * independent reference model to that contract).
+ * out-of-line way scan (DESIGN.md §5c/§5d): the model remembers the two
+ * ways it touched last, and a repeated hit on either line — the dominant
+ * pattern for straight-line instruction fetch and for the interpreter's
+ * frame-spill line alternating with data lines — skips the scan
+ * entirely. The memos are purely indices: the fast path re-validates the
+ * tag, and performs exactly the same LRU clock, dirty-bit and statistics
+ * updates as the scan, so no architectural event ever differs
+ * (tests/test_cache_diff.cc holds an independent reference model to
+ * that contract).
+ *
+ * Storage is structure-of-arrays (DESIGN.md §5d): the tags of one set
+ * are contiguous, so the hit scan touches one host cache line per set;
+ * the replacement metadata lives in a parallel array that is only read
+ * when a victim must actually be chosen. An invalid way holds a
+ * sentinel tag no real line can produce, which keeps the hit scan a
+ * single compare per way and lets the MRU memo slots point at a
+ * permanently-invalid extra tag slot instead of branching on "memo
+ * empty".
  */
 
 #ifndef JAVELIN_SIM_CACHE_HH
@@ -23,6 +33,7 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace javelin {
@@ -83,35 +94,32 @@ class Cache
      * stores) and evicts the LRU way, reporting a writeback if the victim
      * was dirty.
      *
-     * Fast path: if the MRU memo still holds the addressed line, the way
-     * scan is skipped. A tag can only reside in the set it indexes, so a
-     * tag+valid match on the memoized way proves it is the right line.
+     * Fast path: if either MRU memo slot still holds the addressed line,
+     * the way scan is skipped. A tag can only reside in the set it
+     * indexes and invalid ways hold the unreachable sentinel tag, so a
+     * tag match on a memoized way proves it is the right, valid line.
      */
     Result
     access(Address addr, bool is_write)
     {
         const Address line = lineNumber(addr);
-        if (mru_ != kNoMru) {
-            Way &way = ways_[mru_];
-            if (way.tag == line && way.valid) [[likely]] {
-                ++useClock_;
-                if (is_write)
-                    ++stats_.writes;
-                else
-                    ++stats_.reads;
-                way.lastUse = useClock_;
-                way.dirty = way.dirty || is_write;
-                const bool was_prefetched = way.prefetched;
-                way.prefetched = false;
-                return {true, false, was_prefetched};
-            }
+        if (tags_[mru_] == line) [[likely]]
+            return hitWay(mru_, is_write);
+        if (tags_[mru2_] == line) {
+            std::swap(mru_, mru2_);
+            return hitWay(mru_, is_write);
         }
         return accessSlow(line, is_write);
     }
 
-    /** Insert a line on behalf of the prefetcher (no recency claim on
-     *  the demand stream; the line is tagged as prefetched). */
-    void insertPrefetch(Address addr);
+    /**
+     * Insert a line on behalf of the prefetcher (no recency claim on
+     * the demand stream; the line is tagged as prefetched).
+     * @return true if the line was actually filled, false if it was
+     *         already resident (no state changes beyond the LRU clock
+     *         tick, exactly like the pre-memo early return).
+     */
+    bool insertPrefetch(Address addr);
 
     /** True if the line holding addr is currently resident. */
     bool contains(Address addr) const;
@@ -124,21 +132,46 @@ class Cache
     std::uint32_t numSets() const { return numSets_; }
 
   private:
-    struct Way
+    /** Replacement/state metadata of one way (tags live separately). */
+    struct Meta
     {
-        Address tag = 0;
         std::uint64_t lastUse = 0;
         bool valid = false;
         bool dirty = false;
         bool prefetched = false;
     };
 
-    /** Sentinel: MRU memo empty (fresh or just flushed). */
-    static constexpr std::uint32_t kNoMru = 0xFFFFFFFFu;
+    /**
+     * Tag stored for an invalid way. lineBytes >= 2 is asserted, so a
+     * real line number is always < 2^63 and can never compare equal.
+     */
+    static constexpr Address kInvalidTag = ~static_cast<Address>(0);
 
     /** Full way scan: hit refresh or LRU-victim allocation. Updates the
-     *  MRU memo to the touched way. */
+     *  MRU memos to the touched way. */
     Result accessSlow(Address line, bool is_write);
+
+    /** Shared hit bookkeeping for the memo fast path and the scan. */
+    Result
+    hitWay(std::uint32_t way, bool is_write)
+    {
+        ++useClock_;
+        if (is_write)
+            ++stats_.writes;
+        else
+            ++stats_.reads;
+        Meta &m = meta_[way];
+        m.lastUse = useClock_;
+        m.dirty = m.dirty || is_write;
+        const bool was_prefetched = m.prefetched;
+        m.prefetched = false;
+        return {true, false, was_prefetched};
+    }
+
+    /** Victim way (offset within the set) replicating the original
+     *  combined scan: last invalid way wins, else the strict LRU
+     *  minimum (first minimum wins). */
+    std::uint32_t pickVictim(std::uint32_t base) const;
 
     Address lineNumber(Address addr) const { return addr >> lineShift_; }
     std::uint32_t
@@ -152,9 +185,14 @@ class Cache
     std::uint32_t numSets_;
     std::uint32_t lineShift_;
     std::uint32_t setMask_;
-    std::uint32_t mru_ = kNoMru;
+    /** MRU memo slots; point at the sentinel slot when empty. */
+    std::uint32_t mru_;
+    std::uint32_t mru2_;
     std::uint64_t useClock_ = 0;
-    std::vector<Way> ways_; // numSets_ * assoc, set-major
+    /** numSets_ * assoc set-major tags + one trailing sentinel slot
+     *  that permanently holds kInvalidTag (the empty-memo target). */
+    std::vector<Address> tags_;
+    std::vector<Meta> meta_; // numSets_ * assoc, set-major
 };
 
 } // namespace sim

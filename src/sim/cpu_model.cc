@@ -12,6 +12,10 @@ CpuModel::CpuModel(const Config &config, MemoryHierarchy &memory,
 {
     JAVELIN_ASSERT(freqHz_ > 0, "cpu frequency must be positive");
     JAVELIN_ASSERT(config_.baseCpi > 0, "base CPI must be positive");
+    const std::uint32_t line = memory_.config().l1i.lineBytes;
+    JAVELIN_ASSERT(line > 0 && std::has_single_bit(line),
+                   "L1I line size must be a power of two");
+    fetchLineShift_ = static_cast<std::uint32_t>(std::countr_zero(line));
     recomputePeriod();
 }
 

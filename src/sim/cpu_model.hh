@@ -14,18 +14,27 @@
  * Every per-micro-op entry point (execute/load/store/branch/stall) is
  * defined inline here so the whole hot path — dispatch, L1 lookup with
  * MRU memo, cycle accounting — compiles into the caller's loop
- * (DESIGN.md §5c). The block accessors (loadBlock/storeBlock/copyBlock)
- * are the batched entry points the interpreter, the compilers and the
- * GC copy/sweep loops use: they are defined *in terms of* the
- * single-access operations, in source order, so they are
+ * (DESIGN.md §5c). The block accessors (loadBlock/storeBlock/copyBlock/
+ * execLoadBlock) are the batched entry points the interpreter, the
+ * compilers and the GC copy/sweep loops use: they are defined *in terms
+ * of* the single-access operations, in source order, so they are
  * event-for-event and rounding-for-rounding identical to the loops
  * they replace (tests/test_cache_diff.cc proves it), while letting one
  * inlined frame absorb the whole burst.
+ *
+ * Batched accounting (DESIGN.md §5d): the cycle and stall-cycle HPM
+ * counters are the floor of double accumulators. The accumulators are
+ * updated per event — the floating-point accumulation order is part of
+ * the pinned golden behavior, since baseCpi values like 0.45 are not
+ * exactly representable — but the integer counter images are only
+ * materialized when somebody reads them (counters(), System sampling
+ * points), not on every micro-op.
  */
 
 #ifndef JAVELIN_SIM_CPU_MODEL_HH
 #define JAVELIN_SIM_CPU_MODEL_HH
 
+#include <bit>
 #include <string>
 
 #include "sim/memory_hierarchy.hh"
@@ -86,13 +95,14 @@ class CpuModel
     {
         // One I-cache access per line spanned by the batch. A zero-byte
         // batch charges no fetch: it models micro-ops whose code was
-        // already fetched by the surrounding dispatch batch.
+        // already fetched by the surrounding dispatch batch. Line size
+        // is a power of two, so the span is a shift, not a division.
         if (code_bytes > 0) {
-            const std::uint32_t line = memory_.config().l1i.lineBytes;
-            const Address first = code_addr / line;
-            const Address last = (code_addr + code_bytes - 1) / line;
+            const Address first = code_addr >> fetchLineShift_;
+            const Address last =
+                (code_addr + code_bytes - 1) >> fetchLineShift_;
             for (Address l = first; l <= last; ++l)
-                chargePenalty(memory_.fetch(l * line));
+                chargePenalty(memory_.fetch(l << fetchLineShift_));
         }
 
         counters_.instructions += micro_ops;
@@ -157,6 +167,27 @@ class CpuModel
         }
     }
 
+    /**
+     * Order-preserving mixed execute/load burst: `iters` repetitions of
+     * an execute(chunk_uops, code_addr, code_bytes) followed by one
+     * load at data_base + (cursor & window_mask), the cursor advancing
+     * by cursor_stride bytes per iteration. Event-for-event identical
+     * to the caller writing that loop itself (the interpreter's
+     * doNativeWork chunk loop runs on this).
+     */
+    void
+    execLoadBlock(std::uint32_t iters, std::uint32_t chunk_uops,
+                  Address code_addr, std::uint32_t code_bytes,
+                  Address data_base, std::uint64_t cursor,
+                  std::uint64_t window_mask, std::uint32_t cursor_stride)
+    {
+        for (std::uint32_t i = 0; i < iters; ++i) {
+            execute(chunk_uops, code_addr, code_bytes);
+            load(data_base + (cursor & window_mask));
+            cursor += cursor_stride;
+        }
+    }
+
     /** Retire a branch micro-op. */
     void
     branch(bool mispredict)
@@ -187,8 +218,30 @@ class CpuModel
     /** Current simulated time in ticks. */
     Tick now() const { return static_cast<Tick>(tickAcc_); }
 
+    /** Effective clock period (ticks per cycle) at current DVFS/duty
+     *  settings; lets callers bound how far a burst can advance time. */
+    double effectivePeriodTicks() const { return periodEffTicks_; }
+
+    /**
+     * Bring the integer cycle/stall-cycle counter images up to date
+     * with the double accumulators. Must run before any read of the
+     * shared PerfCounters block; counters() and System's sampling
+     * points do it implicitly.
+     */
+    void
+    materializeCounters() const
+    {
+        counters_.cycles = static_cast<std::uint64_t>(cycleAcc_);
+        counters_.stallCycles = static_cast<std::uint64_t>(stallAcc_);
+    }
+
     /** Free-running HPM counter block. */
-    const PerfCounters &counters() const { return counters_; }
+    const PerfCounters &
+    counters() const
+    {
+        materializeCounters();
+        return counters_;
+    }
 
     /** Total retired micro-ops (convenience). */
     std::uint64_t instructions() const { return counters_.instructions; }
@@ -212,7 +265,6 @@ class CpuModel
     advanceCycles(double cycles)
     {
         cycleAcc_ += cycles;
-        counters_.cycles = static_cast<std::uint64_t>(cycleAcc_);
         tickAcc_ += cycles * periodEffTicks_;
     }
 
@@ -220,13 +272,13 @@ class CpuModel
      * Accumulate stall cycles in a double so fractional penalties
      * (memStallFactor scaling, FP-latency stalls) are not truncated
      * per event; the architectural counter is the floor of the
-     * accumulator, exactly like the cycle counter.
+     * accumulator, exactly like the cycle counter. Both integer images
+     * are written lazily by materializeCounters().
      */
     void
     addStallCycles(double cycles)
     {
         stallAcc_ += cycles;
-        counters_.stallCycles = static_cast<std::uint64_t>(stallAcc_);
     }
 
     void
@@ -245,6 +297,8 @@ class CpuModel
     Config config_;
     MemoryHierarchy &memory_;
     PerfCounters &counters_;
+    /** log2 of the L1I line size, precomputed for the fetch span. */
+    std::uint32_t fetchLineShift_;
     double freqHz_;
     double duty_ = 1.0;
     double periodEffTicks_ = 0.0;

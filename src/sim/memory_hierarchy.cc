@@ -52,11 +52,12 @@ MemoryHierarchy::prefetchNextLine(Address addr)
     const Address next = addr + l2_->config().lineBytes;
     // Bypass the demand counters: prefetch traffic costs DRAM energy
     // but neither stalls the core nor perturbs the L2 miss rate the
-    // HPM samplers report.
-    if (!l2_->contains(next)) {
+    // HPM samplers report. The L2 tag-array probe itself is counted
+    // (and priced by the power model) whether or not it fills; the
+    // probe and the fill share one scan via insertPrefetch's return.
+    ++counters_.l2Probes;
+    if (l2_->insertPrefetch(next))
         ++counters_.dramAccesses;
-        l2_->insertPrefetch(next);
-    }
 }
 
 std::uint32_t

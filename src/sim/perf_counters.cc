@@ -18,6 +18,7 @@ PerfCounters::operator-(const PerfCounters &rhs) const
     d.l1dMisses = l1dMisses - rhs.l1dMisses;
     d.l2Accesses = l2Accesses - rhs.l2Accesses;
     d.l2Misses = l2Misses - rhs.l2Misses;
+    d.l2Probes = l2Probes - rhs.l2Probes;
     d.dramAccesses = dramAccesses - rhs.dramAccesses;
     d.dramWritebacks = dramWritebacks - rhs.dramWritebacks;
     return d;
@@ -37,6 +38,7 @@ PerfCounters::operator+=(const PerfCounters &rhs)
     l1dMisses += rhs.l1dMisses;
     l2Accesses += rhs.l2Accesses;
     l2Misses += rhs.l2Misses;
+    l2Probes += rhs.l2Probes;
     dramAccesses += rhs.dramAccesses;
     dramWritebacks += rhs.dramWritebacks;
     return *this;

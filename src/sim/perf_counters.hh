@@ -33,6 +33,9 @@ struct PerfCounters
     std::uint64_t l1dMisses = 0;
     std::uint64_t l2Accesses = 0;
     std::uint64_t l2Misses = 0;
+    /** L2 tag-array probes by the next-line prefetcher (demand traffic
+     *  is not included; see MemoryHierarchy::prefetchNextLine). */
+    std::uint64_t l2Probes = 0;
     std::uint64_t dramAccesses = 0;
     std::uint64_t dramWritebacks = 0;
 

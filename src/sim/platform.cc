@@ -41,6 +41,9 @@ p6Spec()
     spec.power.epL1d = 0.8e-9;
     spec.power.epL1i = 0.45e-9;
     spec.power.epL2 = 5.0e-9;
+    // Next-line prefetcher tag probe (ROADMAP §5c model fix): reads the
+    // L2 tag array only, so ~30% of a full L2 access.
+    spec.power.epL2Probe = 1.5e-9;
     spec.power.epDram = 12.0e-9;
 
     spec.memPower.idleWatts = 0.25;
@@ -100,6 +103,7 @@ pxa255Spec()
     spec.power.epL1d = 0.10e-9;
     spec.power.epL1i = 0.06e-9;
     spec.power.epL2 = 0.0;
+    spec.power.epL2Probe = 0.0; // no L2, no prefetcher
     spec.power.epDram = 4.0e-9;
 
     spec.memPower.idleWatts = 0.005;

@@ -33,6 +33,7 @@ PowerModel::dynamicJoules(const PerfCounters &delta) const
         config_.epL1d * static_cast<double>(delta.l1dAccesses) +
         config_.epL1i * static_cast<double>(delta.l1iAccesses) +
         config_.epL2 * static_cast<double>(delta.l2Accesses) +
+        config_.epL2Probe * static_cast<double>(delta.l2Probes) +
         config_.epDram * static_cast<double>(delta.dramAccesses +
                                              delta.dramWritebacks) +
         config_.epStallCycle * static_cast<double>(delta.stallCycles);

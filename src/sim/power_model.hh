@@ -47,6 +47,12 @@ class PowerModel
         double epL1i = 0.4e-9;
         /** Joules per L2 access. */
         double epL2 = 4.0e-9;
+        /**
+         * Joules per L2 tag-array probe from the next-line prefetcher
+         * (ROADMAP §5c model fix): a probe reads the tag array but
+         * only a miss moves data, so it costs a fraction of epL2.
+         */
+        double epL2Probe = 0.0;
         /** Joules per DRAM access seen from the CPU (bus + controller). */
         double epDram = 12.0e-9;
         /**

@@ -55,6 +55,7 @@ System::runDueTasks()
 void
 System::syncPower()
 {
+    cpu_.materializeCounters();
     power_.update(counters_, cpu_.now());
     memPower_.update(counters_, cpu_.now());
 }

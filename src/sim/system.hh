@@ -51,7 +51,14 @@ class System
     const ThermalModel &thermal() const { return thermal_; }
     DvfsController &dvfs() { return dvfs_; }
     const PlatformSpec &spec() const { return spec_; }
-    const PerfCounters &counters() const { return counters_; }
+    const PerfCounters &
+    counters() const
+    {
+        // The cycle/stall images are materialized lazily (DESIGN.md
+        // §5d); bring them up to date before handing the block out.
+        cpu_.materializeCounters();
+        return counters_;
+    }
 
     /**
      * Register a periodic task. The first firing happens one period from
@@ -67,6 +74,10 @@ class System
         if (cpu_.now() >= nextDue_)
             runDueTasks();
     }
+
+    /** Tick at which the earliest periodic task is next due (max Tick
+     *  if none). Lets burst loops bound how long no poll can fire. */
+    Tick nextTaskDue() const { return nextDue_; }
 
     /** Bring both power models up to the current instant. */
     void syncPower();

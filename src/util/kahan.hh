@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Compensated (Kahan–Neumaier) floating-point summation.
+ *
+ * Long measurement traces integrate to a total many orders of magnitude
+ * larger than any single term: a 40 us DAQ window contributes ~1e-4 J
+ * while a sweep's total reaches tens of joules over millions of
+ * samples, so naive left-to-right accumulation loses low-order bits on
+ * every add and the error grows with trace length (O(n·eps) worst
+ * case). Neumaier's variant of Kahan's algorithm keeps a running
+ * compensation term that captures the bits each add rounds away,
+ * bounding the error independent of n, and — unlike classic Kahan —
+ * stays correct when a term is larger than the running sum.
+ */
+
+#ifndef JAVELIN_UTIL_KAHAN_HH
+#define JAVELIN_UTIL_KAHAN_HH
+
+#include <cmath>
+
+namespace javelin {
+
+/**
+ * Neumaier compensated accumulator. Usable in constexpr contexts and
+ * cheap enough for hot loops (two adds, one fabs-compare per term).
+ */
+class NeumaierSum
+{
+  public:
+    /** Add one term. */
+    void
+    add(double x)
+    {
+        const double t = sum_ + x;
+        // Whichever operand is larger determines which one lost
+        // low-order bits in the rounded add; recover them exactly.
+        if (std::abs(sum_) >= std::abs(x))
+            comp_ += (sum_ - t) + x;
+        else
+            comp_ += (x - t) + sum_;
+        sum_ = t;
+    }
+
+    /** The compensated total. */
+    double value() const { return sum_ + comp_; }
+
+    void
+    reset()
+    {
+        sum_ = 0.0;
+        comp_ = 0.0;
+    }
+
+  private:
+    double sum_ = 0.0;
+    double comp_ = 0.0;
+};
+
+} // namespace javelin
+
+#endif // JAVELIN_UTIL_KAHAN_HH

@@ -76,15 +76,18 @@ class ReferenceCache
         return {false, writeback, false};
     }
 
-    void
+    /** @return true when the line was actually filled (not resident),
+     *  mirroring sim::Cache::insertPrefetch's fill indication. */
+    bool
     insertPrefetch(Address addr)
     {
         auto &set = setFor(addr);
         const Address line = addr / config_.lineBytes;
         for (const Line &l : set)
             if (l.tag == line)
-                return;
+                return false;
         insertFront(set, {line, false, true});
+        return true;
     }
 
     bool
@@ -194,8 +197,82 @@ fuzzGeometry(const Cache::Config &config, std::uint64_t ops,
                 << "op " << i << " addr " << a;
         } else if (dice < 999) {
             const Address a = rng.uniformInt(span);
-            fast.insertPrefetch(a);
-            ref.insertPrefetch(a);
+            const bool ff = fast.insertPrefetch(a);
+            const bool rf = ref.insertPrefetch(a);
+            ASSERT_EQ(rf, ff) << "op " << i << " addr " << a;
+        } else {
+            fast.flush();
+            ref.flush();
+        }
+    }
+    expectStatsEqual(ref.stats(), fast.stats());
+}
+
+/**
+ * Prefetch-heavy stream targeting the SoA layout and the prefetch MRU
+ * memo (DESIGN.md §5d): nearly half the operations are insertPrefetch,
+ * biased toward the line the demand stream just touched (the memo's
+ * own slot), its next line (what the hierarchy's next-line prefetcher
+ * actually issues), and the demand stream ping-pongs between two lines
+ * to keep both memo slots loaded. Fill indications, per-access results
+ * and final stats must all agree with the list-based oracle.
+ */
+void
+fuzzPrefetchHeavy(const Cache::Config &config, std::uint64_t ops,
+                  std::uint64_t seed)
+{
+    Cache fast(config);
+    ReferenceCache ref(config);
+    Rng rng(seed);
+
+    const std::uint64_t span = config.sizeBytes * 4;
+    Address hot = 0;
+    Address hot2 = config.lineBytes; // second memo slot target
+
+    for (std::uint64_t i = 0; i < ops; ++i) {
+        const auto dice = rng.uniformInt(1000);
+        if (dice < 450) {
+            Address a;
+            switch (rng.uniformInt(4)) {
+              case 0:
+                a = hot; // prefetch the MRU line itself (memo hit)
+                break;
+              case 1:
+                a = hot2; // prefetch the second memo slot
+                break;
+              case 2:
+                a = hot + config.lineBytes; // next-line, as the
+                break;                      // hierarchy issues it
+              default:
+                a = rng.uniformInt(span);
+            }
+            const bool ff = fast.insertPrefetch(a);
+            const bool rf = ref.insertPrefetch(a);
+            ASSERT_EQ(rf, ff) << "op " << i << " addr " << a;
+        } else if (dice < 920) {
+            // Demand stream ping-pongs between two hot lines so the
+            // dual-slot memo stays populated with both.
+            Address a;
+            if (rng.bernoulli(0.6)) {
+                std::swap(hot, hot2);
+                a = hot + rng.uniformInt(config.lineBytes);
+            } else {
+                a = rng.uniformInt(span);
+                hot2 = hot;
+                hot = a;
+            }
+            const bool w = rng.bernoulli(0.3);
+            const auto rf = fast.access(a, w);
+            const auto rr = ref.access(a, w);
+            ASSERT_EQ(rr.hit, rf.hit) << "op " << i << " addr " << a;
+            ASSERT_EQ(rr.writeback, rf.writeback)
+                << "op " << i << " addr " << a;
+            ASSERT_EQ(rr.prefetchedHit, rf.prefetchedHit)
+                << "op " << i << " addr " << a;
+        } else if (dice < 995) {
+            const Address a = rng.uniformInt(span);
+            ASSERT_EQ(ref.contains(a), fast.contains(a))
+                << "op " << i << " addr " << a;
         } else {
             fast.flush();
             ref.flush();
@@ -229,6 +306,28 @@ TEST(CacheDiff, ThirtyTwoWayPxaGeometry)
 TEST(CacheDiff, TinyTwoWayConflictHeavy)
 {
     fuzzGeometry({"tiny", 1 * kKiB, 2, 32}, 200000, 0xD1FF04);
+}
+
+// ---------------------------------------------------------------------
+// Prefetch-heavy differential fuzzing against the SoA layout and the
+// prefetch-side MRU memo: >= 1M additional operations, with the L2
+// geometry (the only level that receives prefetch fills in production)
+// plus the adversarial direct-mapped and tiny conflict-heavy shapes.
+// ---------------------------------------------------------------------
+
+TEST(CacheDiff, PrefetchHeavyL2P6Geometry)
+{
+    fuzzPrefetchHeavy({"l2-p6", 1 * kMiB, 8, 64}, 400000, 0xD1FF05);
+}
+
+TEST(CacheDiff, PrefetchHeavyDirectMapped)
+{
+    fuzzPrefetchHeavy({"dm-pf", 16 * kKiB, 1, 64}, 400000, 0xD1FF06);
+}
+
+TEST(CacheDiff, PrefetchHeavyTinyTwoWay)
+{
+    fuzzPrefetchHeavy({"tiny-pf", 1 * kKiB, 2, 32}, 400000, 0xD1FF07);
 }
 
 // ---------------------------------------------------------------------

@@ -14,9 +14,18 @@
  *     baseline at zero and attribute everything consumed before attach
  *     to the first sample window. The constructor now snapshots the
  *     cumulative energy counters.
+ *
+ *  3. The measured-energy integrals accumulated naively left-to-right
+ *     in a plain double, so long traces with a large dynamic range
+ *     drifted: once the running sum dwarfs a sample's contribution,
+ *     every add sheds low-order bits in the same direction. The
+ *     integrals now use compensated (Neumaier) summation
+ *     (core::integrateCpuJoules / util/kahan.hh).
  */
 
 #include <gtest/gtest.h>
+
+#include <cmath>
 
 #include "core/attribution.hh"
 #include "core/component_port.hh"
@@ -121,6 +130,48 @@ TEST(DaqFixes, AttributionIntegratesActualWindows)
     for (const auto &s : daq.trace())
         covered += s.windowTicks;
     EXPECT_NEAR(a.totalSeconds, ticksToSeconds(covered), 1e-12);
+}
+
+/**
+ * Long-trace drift regression for the compensated integrals. One huge
+ * sample (a pathological sense-channel glitch) pushes the running sum
+ * far above the per-sample contributions, then a million ordinary
+ * samples follow. Naive double accumulation then rounds every add in
+ * the same direction and drifts; the compensated integral must stay
+ * within a few ulps of the analytic total (which has a closed form
+ * here precisely because every small term is the same double — even an
+ * 80-bit accumulator drifts too much at this length to serve as the
+ * oracle).
+ */
+TEST(DaqFixes, LongTraceIntegrationDoesNotDrift)
+{
+    const Tick w = 40 * kTicksPerMicro;
+    core::PowerTrace trace;
+    trace.reserve(1'000'001);
+    trace.push_back({0, 2.5e8, 2.5e8, w, core::ComponentId::App});
+    for (int i = 0; i < 1'000'000; ++i)
+        trace.push_back(
+            {Tick(i + 1) * w, 1e-3, 1e-3, w, core::ComponentId::App});
+
+    double naive = 0.0;
+    for (const auto &s : trace)
+        naive += s.cpuWatts * ticksToSeconds(s.windowTicks);
+
+    // Exact real-number sum of the double-valued terms, rounded twice:
+    // big term + (identical small term scaled by the exact count).
+    const double dt = ticksToSeconds(w);
+    const double refD = 2.5e8 * dt + 1e6 * (1e-3 * dt);
+
+    const double compensated = core::integrateCpuJoules(trace);
+    EXPECT_EQ(core::integrateMemJoules(trace), compensated);
+
+    const double compErr = std::abs(compensated - refD);
+    const double naiveErr = std::abs(naive - refD);
+    // ~1e4 J total: one ulp is ~1.8e-12 J. Compensated must be at
+    // ulp scale; the naive loop drifts orders of magnitude past it.
+    EXPECT_LT(compErr, 1e-11);
+    EXPECT_GT(naiveErr, 1e-8);
+    EXPECT_GT(naiveErr, 100.0 * std::max(compErr, 1e-13));
 }
 
 TEST(DaqFixes, WarmAttachMeasuresOnlyPostAttachEnergy)

@@ -9,9 +9,12 @@
  * silently alters a single architectural event fails here with a
  * field-by-field diff.
  *
- * These values gate the simulator fast path (DESIGN.md §5c): the
- * MRU memo, the batched block accessors and the de-virtualized level
- * dispatch must reproduce every counter and every joule bit-for-bit.
+ * These values gate the simulator fast path (DESIGN.md §5c/§5d): the
+ * MRU memos, the SoA way layout, the batched block accessors, the
+ * de-virtualized level dispatch, the threaded interpreter dispatch and
+ * the batched cycle accounting must reproduce every counter and every
+ * joule bit-for-bit. A third, interpreter-tier-only run pins the
+ * dispatch rewrite independently of the JIT tiers.
  *
  * Updating the goldens
  * --------------------
@@ -30,6 +33,10 @@
 #include <cstdlib>
 
 #include "harness/experiment.hh"
+#include "jvm/jvm.hh"
+#include "sim/platform.hh"
+#include "workloads/program_builder.hh"
+#include "workloads/suite.hh"
 
 using namespace javelin;
 
@@ -129,13 +136,19 @@ expectGolden(const Golden &g, const harness::ExperimentResult &res)
 constexpr Golden kGoldenJikes = {
     "Jikes",
     7439987u, 11194228u, 1590u, 132381u, 1341u, 41208u, 952u,
-    0.086085595916500238, 0.0026380981092500012,
+    0.086284167416500274, 0.0026380981092500012,
 };
 
 constexpr Golden kGoldenKaffe = {
     "Kaffe",
     31860686u, 24782229u, 583u, 118168u, 0u, 118751u, 103705u,
     0.022447970033750299, 0.0030677305831248725,
+};
+
+constexpr Golden kGoldenInterp = {
+    "Interp",
+    24331936u, 43197967u, 324u, 205599u, 462u, 11017u, 0u,
+    0.3114057602560002, 0.0041874601169999979,
 };
 
 harness::ExperimentResult
@@ -164,6 +177,40 @@ runKaffe()
                                   workloads::benchmark("_201_compress"));
 }
 
+/**
+ * Interpreter-tier-only run, driven through the Jvm directly (the
+ * experiment harness has no tier knob): every bytecode goes through
+ * Interpreter::run's interpreted dispatch/cost path, so this golden
+ * pins the threaded-dispatch rewrite (DESIGN.md §5d) independently of
+ * the compiled tiers. Synthesizes an ExperimentResult so the print /
+ * compare machinery above is shared.
+ */
+harness::ExperimentResult
+runInterp()
+{
+    workloads::StudyScale scale =
+        workloads::studyScaleFor(workloads::DatasetScale::Small);
+    scale.volume = 1.0 / 16.0; // interpreted code is ~4x slower
+    const jvm::Program program =
+        workloads::buildProgram(workloads::benchmark("_202_jess"), scale);
+
+    sim::System system(sim::p6Spec());
+    jvm::JvmConfig cfg;
+    cfg.kind = jvm::VmKind::Jikes;
+    cfg.collector = jvm::CollectorKind::SemiSpace;
+    cfg.heapBytes = 512 * kKiB;
+    cfg.interp.compileOnInvoke = jvm::Tier::Interpreted;
+    cfg.adaptiveOptimization = false;
+    jvm::Jvm vm(system, program, cfg);
+
+    harness::ExperimentResult res;
+    res.run = vm.run();
+    res.counters = system.counters();
+    res.groundTruthCpuJoules = system.cpuJoules();
+    res.groundTruthMemJoules = system.memoryJoules();
+    return res;
+}
+
 } // namespace
 
 TEST(GoldenRuns, JikesSemiSpaceP6)
@@ -186,6 +233,17 @@ TEST(GoldenRuns, KaffeIncMsPxa255)
         GTEST_SKIP() << "print mode: golden not checked";
     }
     expectGolden(kGoldenKaffe, res);
+}
+
+TEST(GoldenRuns, InterpreterTierP6)
+{
+    const auto res = runInterp();
+    ASSERT_TRUE(res.ok());
+    if (printRequested()) {
+        printInitializer("Interp", res);
+        GTEST_SKIP() << "print mode: golden not checked";
+    }
+    expectGolden(kGoldenInterp, res);
 }
 
 /** A golden run must be a pure function of its configuration. */
