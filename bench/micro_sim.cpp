@@ -133,6 +133,39 @@ BM_EndToEndExperiment(benchmark::State &state)
                            benchmark::Counter::kIsRate);
 }
 
+void
+BM_EndToEndGcHeavy(benchmark::State &state)
+{
+    // GC-dominated pipeline: pmd's big live set (14 MB nominal) under
+    // SemiSpace at the tightest paper heap (32 MB nominal, 2 MB
+    // scaled; each semispace ~1 MB over a ~0.9 MB live graph) forces a
+    // full-heap copying collection every few hundred KB of allocation,
+    // so host time concentrates in the GC fast paths (marker/evacuator
+    // drain, copy, sweep). Full dataset keeps the live set
+    // paper-proportioned.
+    // The bytecodes counter guards against silent OOM truncation: a
+    // config that runs out of heap finishes early with far fewer
+    // bytecodes and would otherwise look "faster".
+    std::uint64_t total_bytecodes = 0;
+    for (auto _ : state) {
+        harness::ExperimentConfig cfg;
+        cfg.dataset = workloads::DatasetScale::Full;
+        cfg.heapNominalMB = 32;
+        cfg.collector = jvm::CollectorKind::SemiSpace;
+        const auto res = harness::runExperiment(
+            cfg, workloads::benchmark("pmd"));
+        benchmark::DoNotOptimize(res.run.returnValue);
+        total_bytecodes += res.run.bytecodesExecuted;
+        state.counters["gc_count"] =
+            static_cast<double>(res.run.gc.collections);
+        state.counters["bytecodes"] =
+            static_cast<double>(res.run.bytecodesExecuted);
+    }
+    state.counters["bytecodes_per_sec"] =
+        benchmark::Counter(static_cast<double>(total_bytecodes),
+                           benchmark::Counter::kIsRate);
+}
+
 } // namespace
 
 BENCHMARK(BM_CacheAccess)->Arg(14)->Arg(18)->Arg(24);
@@ -141,5 +174,6 @@ BENCHMARK(BM_CpuLoadStore);
 BENCHMARK(BM_PowerUpdate);
 BENCHMARK(BM_InterpreterDispatch)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_EndToEndExperiment)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_EndToEndGcHeavy)->Unit(benchmark::kMillisecond);
 
 BENCHMARK_MAIN();

@@ -2,9 +2,9 @@
 # Tier-1 gate: configure, build, and run the full test suite; then a
 # Debug ASan+UBSan pass over the same suite (the threaded-dispatch and
 # SoA hot paths lean on raw pointers and computed goto, exactly where
-# sanitizers earn their keep); then the perf gate: a Release build of
-# bench/micro_sim whose gated throughput metrics must stay within 10 %
-# of the committed BENCH_sim.json baseline (see
+# sanitizers earn their keep); then the perf gate: Release builds of
+# bench/micro_sim and bench/micro_gc whose gated throughput metrics
+# must stay within 10 % of the committed baselines (see
 # scripts/compare_bench.py). Mirrors what CI runs; keep it green before
 # pushing.
 set -eu
@@ -35,17 +35,21 @@ if [ "${JAVELIN_SKIP_BENCH:-0}" = "1" ]; then
 fi
 
 cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release
-cmake --build build-release -j --target micro_sim
+cmake --build build-release -j --target micro_sim --target micro_gc
 ./build-release/bench/micro_sim --benchmark_format=json \
     --benchmark_min_time=1 > BENCH_sim.json
+./build-release/bench/micro_gc --benchmark_format=json \
+    --benchmark_min_time=1 > BENCH_gc.json
 if command -v python3 > /dev/null 2>&1; then
     # Trajectory context (non-gating): speedup over the pre-fast-path
     # simulator kept from before DESIGN.md §5c landed.
     python3 scripts/compare_bench.py bench/BENCH_sim.pre_fast_path.json \
         BENCH_sim.json --max-regress 1.0
-    # The gate: no more than 10 % below the committed baseline.
+    # The gates: no more than 10 % below the committed baselines.
     python3 scripts/compare_bench.py bench/BENCH_sim.baseline.json \
         BENCH_sim.json --max-regress 0.10
+    python3 scripts/compare_bench.py bench/BENCH_gc.baseline.json \
+        BENCH_gc.json --max-regress 0.10
 else
     echo "ci.sh: python3 not found, skipping benchmark comparison" >&2
 fi

@@ -1,16 +1,22 @@
 #!/usr/bin/env python3
-"""Compare a fresh micro_sim run against a committed benchmark baseline.
+"""Compare a fresh micro-benchmark run against a committed baseline.
 
 Usage: compare_bench.py BASELINE.json CURRENT.json [--max-regress FRAC]
 
-Both files are google-benchmark ``--benchmark_format=json`` output. The
-gated metrics are the throughput counters of the hot-path benchmarks:
+Both files are google-benchmark ``--benchmark_format=json`` output
+(bench/micro_sim or bench/micro_gc). The gated metrics are the
+throughput counters of the hot-path benchmarks:
 
   * BM_EndToEndExperiment   bytecodes_per_sec (the ROADMAP perf
     trajectory: host-side simulation throughput of a full experiment)
+  * BM_EndToEndGcHeavy      bytecodes_per_sec (GC-dominated pipeline:
+    pmd under SemiSpace at the tightest paper heap, the configuration
+    the batched GC fast paths target)
   * BM_InterpreterDispatch  bytecodes_per_sec (interpreted-tier
     dispatch + cost-table hot path in isolation)
   * BM_CacheAccess/{14,18,24}  items_per_second (the SoA cache model)
+  * BM_GcMark / BM_GcEvacuate / BM_GcSweep  items_per_second (the
+    three GC phase drains in isolation; see bench/micro_gc.cpp)
 
 A gate missing from the *baseline* is skipped with a note — older
 committed baselines predate the newer benchmarks — but a gate present
@@ -28,10 +34,14 @@ import sys
 
 GATES = [
     ("BM_EndToEndExperiment", "bytecodes_per_sec"),
+    ("BM_EndToEndGcHeavy", "bytecodes_per_sec"),
     ("BM_InterpreterDispatch", "bytecodes_per_sec"),
     ("BM_CacheAccess/14", "items_per_second"),
     ("BM_CacheAccess/18", "items_per_second"),
     ("BM_CacheAccess/24", "items_per_second"),
+    ("BM_GcMark", "items_per_second"),
+    ("BM_GcEvacuate", "items_per_second"),
+    ("BM_GcSweep", "items_per_second"),
 ]
 
 

@@ -17,6 +17,7 @@
 #include <functional>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "jvm/object_model.hh"
 #include "sim/system.hh"
@@ -41,11 +42,114 @@ constexpr std::uint32_t kScanPerSlot = 28;
 constexpr std::uint32_t kMarkPerObject = 40;
 constexpr std::uint32_t kMarkPerEdge = 26;
 constexpr std::uint32_t kSweepPerCell = 12;
+/**
+ * Static code footprint charged per copy invocation (two fetch lines:
+ * dispatch prologue + the 16-byte move loop). The copy routine is
+ * compact and stays fetch-resident across objects; the historical
+ * uops*4 span charged instruction fetch proportional to the *data*
+ * moved — an artifact the v2 cost tables remove (DESIGN.md §5e).
+ * Retired micro-ops are unchanged.
+ */
+constexpr std::uint32_t kCopyCodeBytes = 128;
 } // namespace gc_costs
 
 /** Charge GC bookkeeping work (micro-ops plus dependence stalls). */
 void chargeGcWork(sim::System &system, std::uint32_t micro_ops,
                   Address code_addr);
+
+/** Indices into GcCostTable::specs, one per fixed-cost GC charge. */
+enum GcPhaseSpec : std::uint8_t
+{
+    kSpecMarkObject = 0, ///< gc_costs::kMarkPerObject at kGcMarkCode
+    kSpecMarkEdge,       ///< gc_costs::kMarkPerEdge at kGcMarkCode
+    kSpecScanObject,     ///< gc_costs::kScanPerObject at kGcScanCode
+    kSpecScanSlot,       ///< gc_costs::kScanPerSlot at kGcScanCode
+    kSpecSweepCell,      ///< gc_costs::kSweepPerCell at kGcSweepCode
+    kNumPhaseSpecs,
+};
+
+/**
+ * Per-phase precomputed cost table (DESIGN.md §5e, mirroring the
+ * interpreter's tier tables): each gc_costs::k* constant folded
+ * together with its component code address, its static code footprint
+ * (micro_ops * 4 bytes, as chargeGcWork always passed) and the
+ * dependence-stall product micro_ops * gcStallPerUop.
+ *
+ * charge(cpu, s, 1) is bit-identical to one historical
+ * chargeGcWork(uops, addr) call: identical execute() operands and an
+ * identical stall summand (stallPerItem * 1.0 == stallPerItem).
+ * charge(cpu, s, n) for n > 1 is the v2 *folded* form — one execute of
+ * n items' micro-ops over one loop-body fetch span, one stall of the
+ * prefolded product times n. Folding is an intentional model change
+ * (batch the per-edge bookkeeping dispatch at object/block
+ * granularity); see DESIGN.md §5e for the delta statement and the
+ * golden-refresh protocol.
+ */
+struct GcCostTable
+{
+    struct PhaseCost
+    {
+        std::uint32_t uops = 0;      ///< micro-ops per item
+        std::uint32_t codeBytes = 0; ///< loop-body footprint (uops * 4)
+        Address codeAddr = 0;
+        double stallPerItem = 0.0;   ///< uops * gcStallPerUop, prefolded
+    };
+
+    PhaseCost specs[kNumPhaseSpecs];
+    /** gcStallPerUop, for the size-dependent copy charge. */
+    double stallPerUop = 0.0;
+
+    /** Charge `count` items of phase `s` as one execute + one stall. */
+    void
+    charge(sim::CpuModel &cpu, GcPhaseSpec s, std::uint32_t count) const
+    {
+        const PhaseCost &c = specs[s];
+        cpu.execute(c.uops * count, c.codeAddr, c.codeBytes);
+        cpu.stall(c.stallPerItem * static_cast<double>(count));
+    }
+
+    /**
+     * Copy-path bookkeeping for one object of `size` bytes: plan
+     * dispatch, TIB interrogation, size decode, cursor update,
+     * forwarding-word CAS. Micro-op count and stall are the historical
+     * per-object products; the fetch span is the fixed
+     * gc_costs::kCopyCodeBytes routine footprint.
+     */
+    void
+    chargeCopy(sim::CpuModel &cpu, std::uint32_t size) const
+    {
+        const std::uint32_t uops =
+            gc_costs::kCopyPerObject +
+            (size / 16) * gc_costs::kCopyPer16Bytes;
+        cpu.execute(uops, kGcCopyCode, gc_costs::kCopyCodeBytes);
+        cpu.stall(static_cast<double>(uops) * stallPerUop);
+    }
+
+    /** Deficit units consumed by a charge of `total_uops` micro-ops
+     *  (see gcPollFreeUnits): one unit per started 64-uop chunk. */
+    static std::uint64_t
+    chargeUnits(std::uint32_t total_uops)
+    {
+        return 1 + total_uops / 64;
+    }
+
+    static GcCostTable make(const sim::System &system);
+};
+
+/**
+ * How many deficit units of GC work can run before the next periodic
+ * task could possibly come due (same conservative-bound technique as
+ * Interpreter::pollFreeIterations / doNativeWork). A unit is one data
+ * access or one execute of at most 64 micro-ops; folded charges count
+ * GcCostTable::chargeUnits. Zero means a task is already due. Polls
+ * skipped while the consumed units stay under this budget are provably
+ * no-ops; see DESIGN.md §5e for the argument.
+ */
+std::uint64_t gcPollFreeUnits(sim::System &system);
+
+/** Default for GcEnv::fastPath: true unless JAVELIN_GC_NO_FAST_PATH is
+ *  set in the environment (checked once). */
+bool gcFastPathDefault();
 
 /** The collector algorithms of paper Fig. 3 (plus Kaffe's). */
 enum class CollectorKind
@@ -92,6 +196,13 @@ struct GcEnv
     /** Charge the mutator for write-barrier work (ablation A2 turns the
      *  cost off while keeping the remembered sets correct). */
     bool chargeBarrierCost = true;
+    /**
+     * Use the batched fast paths (host-side graph walk + exact event
+     * replay, DESIGN.md §5e). Off = the historical per-word reference
+     * paths, kept as the oracle for tests/test_gc_diff.cc. Both produce
+     * bit-identical architectural events and joules.
+     */
+    bool fastPath = gcFastPathDefault();
 };
 
 /**
@@ -116,7 +227,10 @@ class Collector
         std::uint64_t remsetEntries = 0;
     };
 
-    explicit Collector(const GcEnv &env) : env_(env) {}
+    explicit Collector(const GcEnv &env)
+        : env_(env), costs_(GcCostTable::make(env.system))
+    {
+    }
     virtual ~Collector() = default;
 
     Collector(const Collector &) = delete;
@@ -173,6 +287,8 @@ class Collector
     void pollSamplers() { env_.system.poll(); }
 
     GcEnv env_;
+    /** Precomputed per-phase charges for this platform. */
+    GcCostTable costs_;
     Stats stats_;
 };
 

@@ -5,43 +5,55 @@
 namespace javelin {
 namespace jvm {
 
-Evacuator::Evacuator(const GcEnv &env, Collector::Stats &stats,
-                     ShouldMoveFn should_move, AllocFn alloc_to)
-    : env_(env), stats_(stats), shouldMove_(std::move(should_move)),
+Evacuator::Evacuator(const GcEnv &env, const GcCostTable &costs,
+                     Collector::Stats &stats, MoveRegion region,
+                     AllocFn alloc_to)
+    : env_(env), costs_(costs), stats_(stats), region_(region),
       allocTo_(std::move(alloc_to))
 {
     gray_.reserve(1024);
+    children_.reserve(64);
 }
 
 bool
 Evacuator::processSlot(Address &ref)
 {
     ObjectModel &om = env_.om;
+    sim::CpuModel &cpu = env_.system.cpu();
 
     // Forwarding pointers can chain across regions when a minor
     // collection was abandoned for a major one, so snap in a loop and
     // re-test the region predicate each time.
     std::uint32_t bits;
     for (;;) {
-        if (ref == kNull || !shouldMove_(ref))
+        if (ref == kNull || !region_.contains(ref))
             return true;
         bits = om.loadGcBits(ref);
+        ++unitAcc_;
         if (!(bits & kForwardedBit))
             break;
         ref = om.loadForwarding(ref);
+        ++unitAcc_;
     }
 
     const std::uint32_t size = om.sizeRaw(ref);
-    const Address to = allocTo_(size);
+    std::uint32_t traffic = 0;
+    const Address to = allocTo_(size, &traffic);
     if (to == kNull) {
         failed_ = true;
         return false;
     }
+    // Free-list link chasing re-touches the popped cell (historically
+    // charged by the GenMS matureAlloc callback at this exact point).
+    cpu.loadBlock(to, traffic, 0);
+    unitAcc_ += traffic;
 
     om.copyObject(to, ref, size);
     // Clear any from-space GC bits in the new copy.
     om.setGcBitsRaw(to, 0);
     om.setForwarding(ref, to);
+    // copyBlock pairs per started 16-byte granule + forwarding store.
+    unitAcc_ += 2 * ((size + 15) / 16) + 1;
     ref = to;
 
     ++copiedObjects_;
@@ -51,29 +63,85 @@ Evacuator::processSlot(Address &ref)
 
     // Copy-path bookkeeping: plan dispatch, TIB interrogation, size
     // decode, cursor update, forwarding-word CAS.
-    chargeGcWork(env_.system,
-                 gc_costs::kCopyPerObject +
-                     (size / 16) * gc_costs::kCopyPer16Bytes,
-                 kGcCopyCode);
+    costs_.chargeCopy(cpu, size);
+    unitAcc_ += GcCostTable::chargeUnits(
+        gc_costs::kCopyPerObject +
+        (size / 16) * gc_costs::kCopyPer16Bytes);
     return true;
 }
 
+/** Naive scalar scan over the timed accessors — the oracle. Emits the
+ *  v2 stream: per-object folded charges, slot loads in slot order,
+ *  then each slot's evacuation events and writeback. */
 bool
-Evacuator::scanObject(Address obj)
+Evacuator::scanObjectReference(Address obj)
 {
     ObjectModel &om = env_.om;
+    sim::CpuModel &cpu = env_.system.cpu();
     const std::uint32_t refs = om.refCountRaw(obj);
-    chargeGcWork(env_.system, gc_costs::kScanPerObject, kGcScanCode);
+    costs_.charge(cpu, kSpecScanObject, 1);
+    if (refs == 0)
+        return true;
+    costs_.charge(cpu, kSpecScanSlot, refs);
+    children_.clear();
+    for (std::uint32_t i = 0; i < refs; ++i)
+        children_.push_back(om.loadRef(obj, i));
     for (std::uint32_t i = 0; i < refs; ++i) {
-        chargeGcWork(env_.system, gc_costs::kScanPerSlot, kGcScanCode);
-        Address child = om.loadRef(obj, i);
+        Address child = children_[i];
+        if (child == kNull)
+            continue;
+        const Address before = child;
+        // On failure the slot is not written back (a resumed pass
+        // rescans it; forwarding makes processSlot idempotent).
+        if (!processSlot(child))
+            return false;
+        if (child != before)
+            om.storeRef(obj, i, child);
+    }
+    return true;
+}
+
+/** Identical v2 stream driven off the ObjectView memo, accruing
+ *  deficit units into unitAcc_ for the hoisted-poll drain. */
+bool
+Evacuator::scanObjectFast(Address obj)
+{
+    Heap &heap = env_.heap;
+    sim::CpuModel &cpu = env_.system.cpu();
+    // Cheney scan: every to-space object is scanned exactly once, so
+    // the dual-MRU view memo can never hit here — decode the header
+    // raw instead of paying the memo rotation (the slot array is read
+    // through a host pointer; processSlot never rewrites the slots of
+    // the object being scanned, only this loop's explicit writeback
+    // does).
+    const std::uint32_t refs = env_.om.refCountRaw(obj);
+    costs_.charge(cpu, kSpecScanObject, 1);
+    ++unitAcc_;
+    if (refs == 0)
+        return true;
+    costs_.charge(cpu, kSpecScanSlot, refs);
+    const Address slot0 = obj + kHeaderBytes;
+    const std::uint8_t *slots = heap.ptr(slot0);
+    cpu.loadBlock(slot0, refs, kSlotBytes);
+    unitAcc_ +=
+        GcCostTable::chargeUnits(gc_costs::kScanPerSlot * refs) +
+        refs;
+    for (std::uint32_t i = 0; i < refs; ++i) {
+        Address child;
+        std::memcpy(&child, slots + static_cast<std::size_t>(i) * kSlotBytes,
+                    sizeof(child));
         if (child == kNull)
             continue;
         const Address before = child;
         if (!processSlot(child))
             return false;
-        if (child != before)
-            om.storeRef(obj, i, child);
+        if (child != before) {
+            const Address slotAddr =
+                slot0 + static_cast<Address>(i) * kSlotBytes;
+            cpu.store(slotAddr);
+            ++unitAcc_;
+            heap.write64(slotAddr, child);
+        }
     }
     return true;
 }
@@ -85,14 +153,36 @@ Evacuator::drain()
     // were copied, so the scan re-misses on the copied data instead of
     // riding the copy's cache footprint — the memory behaviour the
     // paper measures for the copying collectors.
+    if (!env_.fastPath) {
+        while (grayHead_ < gray_.size()) {
+            // Only consume the entry once its scan completed: a failed
+            // (out-of-space) scan leaves the object queued so a resumed
+            // pass rescans it; processSlot is idempotent via forwarding.
+            if (!scanObjectReference(gray_[grayHead_]))
+                return false;
+            ++grayHead_;
+            env_.system.poll();
+        }
+        gray_.clear();
+        grayHead_ = 0;
+        return !failed_;
+    }
+
+    // Deficit-counter poll hoisting; see Marker::drainFast for the
+    // identical-poll-ticks argument.
+    std::int64_t budget =
+        static_cast<std::int64_t>(gcPollFreeUnits(env_.system));
     while (grayHead_ < gray_.size()) {
-        // Only consume the entry once its scan completed: a failed
-        // (out-of-space) scan leaves the object queued so a resumed
-        // pass rescans it; processSlot is idempotent via forwarding.
-        if (!scanObject(gray_[grayHead_]))
+        unitAcc_ = 0;
+        if (!scanObjectFast(gray_[grayHead_]))
             return false;
         ++grayHead_;
-        env_.system.poll();
+        budget -= static_cast<std::int64_t>(unitAcc_);
+        if (budget <= 0) {
+            env_.system.poll();
+            budget =
+                static_cast<std::int64_t>(gcPollFreeUnits(env_.system));
+        }
     }
     gray_.clear();
     grayHead_ = 0;

@@ -7,6 +7,13 @@
  * allocator, so SemiSpace (full-heap copy), GenCopy (nursery-to-mature
  * promotion and mature semispace major) and GenMS (nursery-to-free-list
  * promotion) all share one verified implementation.
+ *
+ * Like the marker, the evacuator has two semantically identical drive
+ * modes (GcEnv::fastPath), both emitting the v2 per-object charge
+ * stream (folded scan charges and one slot-load block per scanned
+ * object — DESIGN.md §5e): a batched fast path driven off the
+ * ObjectView memo with polls hoisted behind a deficit counter, and a
+ * naive scalar reference path kept as the differential-test oracle.
  */
 
 #ifndef JAVELIN_JVM_GC_EVACUATOR_HH
@@ -21,16 +28,56 @@ namespace javelin {
 namespace jvm {
 
 /**
+ * The "should this object move" predicate, devirtualized: every
+ * collector's from-region is one or two contiguous address ranges
+ * (from-space, the nursery, nursery + mature-from on a GenCopy
+ * major), so the per-slot test is a pair of compares instead of a
+ * std::function indirection on the hottest evacuation edge.
+ */
+struct MoveRegion
+{
+    Address lo0 = 1, hi0 = 0; // empty
+    Address lo1 = 1, hi1 = 0;
+
+    static MoveRegion
+    of(const Space &s)
+    {
+        return {s.start, s.end(), 1, 0};
+    }
+
+    static MoveRegion
+    of(const Space &a, const Space &b)
+    {
+        return {a.start, a.end(), b.start, b.end()};
+    }
+
+    bool
+    contains(Address a) const
+    {
+        return (a >= lo0 && a < hi0) || (a >= lo1 && a < hi1);
+    }
+};
+
+/**
  * One evacuation pass. Construct, configure, drive, discard.
  */
 class Evacuator
 {
   public:
-    using ShouldMoveFn = std::function<bool(Address)>;
-    using AllocFn = std::function<Address(std::uint32_t)>;
+    /**
+     * Target allocator: returns the new address (kNull when out of
+     * space) and reports any free-list words touched through
+     * *traffic_loads (bump allocators leave it 0). The evacuator
+     * charges that traffic itself, at the same point in the event
+     * stream the allocator historically did, so the charge can ride
+     * the deferred burst.
+     */
+    using AllocFn =
+        std::function<Address(std::uint32_t, std::uint32_t *)>;
 
-    Evacuator(const GcEnv &env, Collector::Stats &stats,
-              ShouldMoveFn should_move, AllocFn alloc_to);
+    Evacuator(const GcEnv &env, const GcCostTable &costs,
+              Collector::Stats &stats, MoveRegion region,
+              AllocFn alloc_to);
 
     /**
      * Process one slot: null and non-moving refs pass through; already
@@ -65,15 +112,20 @@ class Evacuator
     }
 
   private:
-    bool scanObject(Address obj);
+    bool scanObjectReference(Address obj);
+    bool scanObjectFast(Address obj);
 
     const GcEnv &env_;
+    const GcCostTable &costs_;
     Collector::Stats &stats_;
-    ShouldMoveFn shouldMove_;
+    MoveRegion region_;
     AllocFn allocTo_;
     std::vector<Address> gray_;
+    std::vector<Address> children_;
     std::size_t grayHead_ = 0;
     std::uint64_t copiedObjects_ = 0;
+    /** Deficit units accrued by processSlot/scan charges (fast drain). */
+    std::uint64_t unitAcc_ = 0;
     bool failed_ = false;
 };
 

@@ -99,13 +99,17 @@ GenCopyCollector::minorCollect()
 
     Space &target = mature_[activeHalf_];
     Evacuator evac(
-        env_, stats_, [this](Address a) { return inNursery(a); },
-        [&target](std::uint32_t bytes) { return target.bump(bytes); });
+        env_, costs_, stats_, MoveRegion::of(nursery_),
+        [&target](std::uint32_t bytes, std::uint32_t *) {
+            return target.bump(bytes);
+        });
 
     env_.host.forEachRoot([&evac](Address &ref) {
         evac.processSlot(ref);
     });
-    // Remembered-set entries are roots for a minor collection.
+    // Remembered-set entries are roots for a minor collection. Replaying
+    // the SSB reads the buffer back: charge one window load per entry.
+    remset_.chargeReplayReads(env_.fastPath);
     Heap &heap = env_.heap;
     remset_.forEach([&](Address slot) {
         env_.system.cpu().load(slot);
@@ -152,9 +156,10 @@ GenCopyCollector::majorCollect()
     to.reset();
 
     Evacuator evac(
-        env_, stats_,
-        [&](Address a) { return inNursery(a) || from.contains(a); },
-        [&to](std::uint32_t bytes) { return to.bump(bytes); });
+        env_, costs_, stats_, MoveRegion::of(nursery_, from),
+        [&to](std::uint32_t bytes, std::uint32_t *) {
+            return to.bump(bytes);
+        });
 
     env_.host.forEachRoot([&evac](Address &ref) {
         evac.processSlot(ref);

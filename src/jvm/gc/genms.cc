@@ -4,6 +4,7 @@
 
 #include "jvm/gc/evacuator.hh"
 #include "jvm/gc/marker.hh"
+#include "jvm/gc/sweeper.hh"
 
 namespace javelin {
 namespace jvm {
@@ -111,6 +112,9 @@ GenMSCollector::driveEvacuation(Evacuator &evac)
     env_.host.forEachRoot([&evac](Address &ref) {
         evac.processSlot(ref);
     });
+    // Replaying the SSB reads the buffer back: charge one window load
+    // per entry before walking the recorded slots.
+    remset_.chargeReplayReads(env_.fastPath);
     Heap &heap = env_.heap;
     remset_.forEach([&](Address slot) {
         env_.system.cpu().load(slot);
@@ -133,8 +137,12 @@ GenMSCollector::minorCollect()
     const Tick start = env_.system.cpu().now();
 
     Evacuator evac(
-        env_, stats_, [this](Address a) { return inNursery(a); },
-        [this](std::uint32_t bytes) { return matureAlloc(bytes); });
+        env_, costs_, stats_, MoveRegion::of(nursery_),
+        [this](std::uint32_t bytes, std::uint32_t *traffic) {
+            // The evacuator charges the reported free-list traffic at
+            // the same event position matureAlloc historically did.
+            return mature_.alloc(bytes, traffic);
+        });
 
     if (!driveEvacuation(evac)) {
         // Mature free space could not absorb the survivors. Mark-sweep
@@ -187,33 +195,13 @@ GenMSCollector::markSweepMature(const std::vector<Address> &extra_roots)
     env_.host.gcBegin(true);
     const Tick start = env_.system.cpu().now();
 
-    Marker marker(env_, stats_);
+    Marker marker(env_, costs_, stats_);
     for (const Address a : extra_roots)
         marker.processRef(a);
     marker.markFromRoots();
 
     // Sweep the mature free lists.
-    mature_.beginSweep();
-    ObjectModel &om = env_.om;
-    for (const auto &block : mature_.blocks()) {
-        for (std::uint32_t cell = 0; cell < block.bumpCells; ++cell) {
-            if (!block.allocated(cell))
-                continue;
-            const Address addr =
-                block.start + static_cast<Address>(cell) * block.cellBytes;
-            const std::uint32_t bits = om.loadGcBits(addr);
-            if (bits & kMarkBit) {
-                om.storeGcBits(addr, bits & ~kMarkBit);
-            } else {
-                stats_.bytesFreed += block.cellBytes;
-                mature_.freeCell(addr);
-                env_.system.cpu().store(addr);
-            }
-            chargeGcWork(env_.system, gc_costs::kSweepPerCell,
-                         kGcSweepCode);
-        }
-        pollSamplers();
-    }
+    sweepFreeListSpace(env_, costs_, mature_, stats_);
 
     // Entries whose holder cell was just swept are stale; processing
     // them later would scribble on free-list links. Entries into live

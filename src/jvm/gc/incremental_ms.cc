@@ -1,5 +1,7 @@
 #include "jvm/gc/incremental_ms.hh"
 
+#include "jvm/gc/sweeper.hh"
+
 namespace javelin {
 namespace jvm {
 
@@ -35,22 +37,49 @@ IncrementalMSCollector::shade(Address ref)
         return;
     ObjectModel &om = env_.om;
     const std::uint32_t bits = om.loadGcBits(ref);
+    ++unitAcc_;
     if (bits & kMarkBit)
         return;
     om.storeGcBits(ref, bits | kMarkBit);
     ++stats_.objectsMarked;
     gray_.push_back(ref);
-    chargeGcWork(env_.system, gc_costs::kMarkPerObject, kGcMarkCode);
+    costs_.charge(env_.system.cpu(), kSpecMarkObject, 1);
+    unitAcc_ += 2; // store + single-item charge
 }
 
+/**
+ * Kaffe's scan charges kMarkPerEdge once per *object* (not per edge) —
+ * a historical quirk both drive modes preserve. The v2 stream is the
+ * charge, then the slot loads in slot order, then the shades.
+ */
 void
 IncrementalMSCollector::scanObject(Address obj)
 {
     ObjectModel &om = env_.om;
     const std::uint32_t refs = om.refCountRaw(obj);
-    chargeGcWork(env_.system, gc_costs::kMarkPerEdge, kGcMarkCode);
+    costs_.charge(env_.system.cpu(), kSpecMarkEdge, 1);
+    children_.clear();
     for (std::uint32_t i = 0; i < refs; ++i)
-        shade(om.loadRef(obj, i));
+        children_.push_back(om.loadRef(obj, i));
+    for (const Address child : children_)
+        shade(child);
+}
+
+void
+IncrementalMSCollector::scanObjectFast(Address obj)
+{
+    // Header decode through the dual-MRU memo; marking rewrites no
+    // header word other than gcBits (uncached), so the reference stays
+    // valid across the shades.
+    sim::CpuModel &cpu = env_.system.cpu();
+    const ObjectView &v = env_.om.view(obj);
+    costs_.charge(cpu, kSpecMarkEdge, 1);
+    ++unitAcc_;
+    const Address slot0 = obj + kHeaderBytes;
+    cpu.loadBlock(slot0, v.refs, kSlotBytes);
+    unitAcc_ += v.refs;
+    for (std::uint32_t i = 0; i < v.refs; ++i)
+        shade(v.ref(i));
 }
 
 void
@@ -75,7 +104,10 @@ IncrementalMSCollector::step(std::uint32_t n)
     while (n-- > 0 && !gray_.empty()) {
         const Address obj = gray_.back();
         gray_.pop_back();
-        scanObject(obj);
+        if (env_.fastPath)
+            scanObjectFast(obj);
+        else
+            scanObject(obj);
     }
     env_.host.gcEnd(false);
     if (gray_.empty())
@@ -94,11 +126,30 @@ IncrementalMSCollector::finishCycle()
         chargeWork(3, kGcScanCode);
         shade(ref);
     });
-    while (!gray_.empty()) {
-        const Address obj = gray_.back();
-        gray_.pop_back();
-        scanObject(obj);
-        env_.system.poll();
+    if (env_.fastPath) {
+        // Deficit-counter poll hoisting; see Marker::drainFast for the
+        // identical-poll-ticks argument.
+        std::int64_t budget =
+            static_cast<std::int64_t>(gcPollFreeUnits(env_.system));
+        while (!gray_.empty()) {
+            const Address obj = gray_.back();
+            gray_.pop_back();
+            unitAcc_ = 0;
+            scanObjectFast(obj);
+            budget -= static_cast<std::int64_t>(unitAcc_);
+            if (budget <= 0) {
+                env_.system.poll();
+                budget = static_cast<std::int64_t>(
+                    gcPollFreeUnits(env_.system));
+            }
+        }
+    } else {
+        while (!gray_.empty()) {
+            const Address obj = gray_.back();
+            gray_.pop_back();
+            scanObject(obj);
+            env_.system.poll();
+        }
     }
     sweep();
     marking_ = false;
@@ -112,27 +163,7 @@ IncrementalMSCollector::finishCycle()
 void
 IncrementalMSCollector::sweep()
 {
-    alloc_.beginSweep();
-    ObjectModel &om = env_.om;
-    for (const auto &block : alloc_.blocks()) {
-        for (std::uint32_t cell = 0; cell < block.bumpCells; ++cell) {
-            if (!block.allocated(cell))
-                continue;
-            const Address addr =
-                block.start + static_cast<Address>(cell) * block.cellBytes;
-            const std::uint32_t bits = om.loadGcBits(addr);
-            if (bits & kMarkBit) {
-                om.storeGcBits(addr, bits & ~kMarkBit);
-            } else {
-                stats_.bytesFreed += block.cellBytes;
-                alloc_.freeCell(addr);
-                env_.system.cpu().store(addr);
-            }
-            chargeGcWork(env_.system, gc_costs::kSweepPerCell,
-                         kGcSweepCode);
-        }
-        pollSamplers();
-    }
+    sweepFreeListSpace(env_, costs_, alloc_, stats_);
 }
 
 Address

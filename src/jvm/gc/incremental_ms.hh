@@ -60,8 +60,10 @@ class IncrementalMSCollector : public Collector
     void step(std::uint32_t n);
     /** Shade one reference gray if white. */
     void shade(Address ref);
-    /** Scan one gray object, blackening it. */
+    /** Scan one gray object, blackening it (reference oracle). */
     void scanObject(Address obj);
+    /** Batched scanObject: identical v2 stream via the view memo. */
+    void scanObjectFast(Address obj);
     /** Atomic finish: rescan roots, drain, sweep. */
     void finishCycle();
     void sweep();
@@ -70,6 +72,9 @@ class IncrementalMSCollector : public Collector
     FreeListAllocator alloc_;
     bool marking_ = false;
     std::vector<Address> gray_;
+    std::vector<Address> children_;
+    /** Deficit units accrued by shade/scan charges (fast drain). */
+    std::uint64_t unitAcc_ = 0;
 };
 
 } // namespace jvm

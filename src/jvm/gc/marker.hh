@@ -18,6 +18,15 @@ namespace jvm {
 
 /**
  * Depth-first marker with an explicit mark stack.
+ *
+ * Two semantically identical drive modes (GcEnv::fastPath), both
+ * emitting the v2 per-object charge stream (one folded kSpecMarkEdge
+ * charge and one slot-load block per popped object — DESIGN.md §5e):
+ * the fast path walks the graph through the ObjectView memo and raw
+ * heap reads with polls hoisted behind a deficit counter; the
+ * reference path is a naive scalar loop over the timed ObjectModel
+ * accessors, kept as the differential-test oracle
+ * (tests/test_gc_diff.cc).
  */
 class Marker
 {
@@ -25,13 +34,14 @@ class Marker
     /** Restricts marking to a region (others are treated as pinned). */
     using InRegionFn = std::function<bool(Address)>;
 
-    Marker(const GcEnv &env, Collector::Stats &stats);
-
-    /** Mark everything reachable from the VM roots. */
-    void markFromRoots();
+    Marker(const GcEnv &env, const GcCostTable &costs,
+           Collector::Stats &stats);
 
     /** Mark one reference (and queue its children). */
     void processRef(Address ref);
+
+    /** Mark everything reachable from the VM roots. */
+    void markFromRoots();
 
     /** Drain the mark stack. */
     void drain();
@@ -39,9 +49,14 @@ class Marker
     std::uint64_t marked() const { return marked_; }
 
   private:
+    void drainFast();
+    void drainReference();
+
     const GcEnv &env_;
+    const GcCostTable &costs_;
     Collector::Stats &stats_;
     std::vector<Address> stack_;
+    std::vector<Address> children_;
     std::uint64_t marked_ = 0;
 };
 

@@ -1,6 +1,7 @@
 #include "jvm/gc/marksweep.hh"
 
 #include "jvm/gc/marker.hh"
+#include "jvm/gc/sweeper.hh"
 
 namespace javelin {
 namespace jvm {
@@ -38,27 +39,7 @@ MarkSweepCollector::allocate(std::uint32_t bytes)
 void
 MarkSweepCollector::sweep()
 {
-    alloc_.beginSweep();
-    ObjectModel &om = env_.om;
-    for (const auto &block : alloc_.blocks()) {
-        for (std::uint32_t cell = 0; cell < block.bumpCells; ++cell) {
-            if (!block.allocated(cell))
-                continue;
-            const Address addr =
-                block.start + static_cast<Address>(cell) * block.cellBytes;
-            const std::uint32_t bits = om.loadGcBits(addr);
-            if (bits & kMarkBit) {
-                om.storeGcBits(addr, bits & ~kMarkBit);
-            } else {
-                stats_.bytesFreed += block.cellBytes;
-                alloc_.freeCell(addr);
-                env_.system.cpu().store(addr); // free-list link write
-            }
-            chargeGcWork(env_.system, gc_costs::kSweepPerCell,
-                         kGcSweepCode);
-        }
-        pollSamplers();
-    }
+    sweepFreeListSpace(env_, costs_, alloc_, stats_);
 }
 
 void
@@ -68,7 +49,7 @@ MarkSweepCollector::collect(bool major)
     env_.host.gcBegin(true);
     const Tick start = env_.system.cpu().now();
 
-    Marker marker(env_, stats_);
+    Marker marker(env_, costs_, stats_);
     marker.markFromRoots();
     sweep();
 

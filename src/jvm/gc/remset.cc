@@ -9,14 +9,5 @@ RememberedSet::RememberedSet(sim::System &system)
     slots_.reserve(4096);
 }
 
-void
-RememberedSet::record(Address slot_addr)
-{
-    const Address buf =
-        kSsbBase + (slots_.size() % kSsbWindowSlots) * sizeof(Address);
-    system_.cpu().store(buf);
-    slots_.push_back(slot_addr);
-}
-
 } // namespace jvm
 } // namespace javelin

@@ -26,7 +26,44 @@ class RememberedSet
     explicit RememberedSet(sim::System &system);
 
     /** Append one slot address (charges the SSB buffer store). */
-    void record(Address slot_addr);
+    void
+    record(Address slot_addr)
+    {
+        // SSB cursor wrap: the window is a power of two, so the wrap
+        // is a mask and the slot scaling a shift (bit-identical values
+        // to the historical % / sizeof multiply, minus the division).
+        const Address buf =
+            kSsbBase +
+            ((slots_.size() & (kSsbWindowSlots - 1)) << kSlotShift);
+        system_.cpu().store(buf);
+        slots_.push_back(slot_addr);
+    }
+
+    /**
+     * Charge the SSB read traffic of replaying the buffer: one load
+     * per recorded entry, at the same wrapping window address the
+     * entry's record() stored to. The batched form issues them through
+     * CpuModel::loadWindowBlock; the reference form is the per-entry
+     * loop. Both are event-for-event identical. Call once per replay
+     * (minor-collection remset walk), before visiting the slots.
+     */
+    void
+    chargeReplayReads(bool batched)
+    {
+        const auto n = static_cast<std::uint32_t>(slots_.size());
+        constexpr std::uint64_t kWindowMask =
+            (static_cast<std::uint64_t>(kSsbWindowSlots) << kSlotShift) - 1;
+        if (batched) {
+            system_.cpu().loadWindowBlock(n, kSsbBase, 0, kWindowMask,
+                                          sizeof(Address));
+        } else {
+            std::uint64_t cursor = 0;
+            for (std::uint32_t i = 0; i < n; ++i) {
+                system_.cpu().load(kSsbBase + (cursor & kWindowMask));
+                cursor += sizeof(Address);
+            }
+        }
+    }
 
     std::size_t size() const { return slots_.size(); }
     bool empty() const { return slots_.empty(); }
@@ -55,6 +92,11 @@ class RememberedSet
     static constexpr Address kSsbBase = kNativeBase + 0x200000;
     /** The buffer wraps within this window for cache purposes. */
     static constexpr std::size_t kSsbWindowSlots = 8192;
+    static_assert((kSsbWindowSlots & (kSsbWindowSlots - 1)) == 0,
+                  "SSB window must be a power of two (shift/mask wrap)");
+    /** log2(sizeof(Address)): slot index -> byte offset. */
+    static constexpr unsigned kSlotShift = 3;
+    static_assert(sizeof(Address) == 1u << kSlotShift);
 
     sim::System &system_;
     std::vector<Address> slots_;

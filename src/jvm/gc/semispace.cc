@@ -43,9 +43,10 @@ SemiSpaceCollector::collect(bool major)
     idle_.reset();
     const Space from = active_;
     Evacuator evac(
-        env_, stats_,
-        [&from](Address a) { return from.contains(a); },
-        [this](std::uint32_t bytes) { return idle_.bump(bytes); });
+        env_, costs_, stats_, MoveRegion::of(from),
+        [this](std::uint32_t bytes, std::uint32_t *) {
+            return idle_.bump(bytes);
+        });
 
     env_.host.forEachRoot([&evac](Address &ref) {
         evac.processSlot(ref);

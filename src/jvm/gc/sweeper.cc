@@ -1,0 +1,76 @@
+#include "jvm/gc/sweeper.hh"
+
+namespace javelin {
+namespace jvm {
+
+void
+sweepFreeListSpace(const GcEnv &env, const GcCostTable &costs,
+                   FreeListAllocator &alloc, Collector::Stats &stats)
+{
+    alloc.beginSweep();
+    // Cells reclaimed below may be re-carved into new objects later;
+    // drop every memoized header decode up front rather than tracking
+    // per-cell invalidation through the whole sweep.
+    env.om.invalidateViews();
+
+    if (!env.fastPath) {
+        // Reference path: per-cell loop over the timed accessors.
+        ObjectModel &om = env.om;
+        for (const auto &block : alloc.blocks()) {
+            std::uint32_t cells = 0;
+            for (std::uint32_t cell = 0; cell < block.bumpCells; ++cell) {
+                if (!block.allocated(cell))
+                    continue;
+                const Address addr =
+                    block.start +
+                    static_cast<Address>(cell) * block.cellBytes;
+                const std::uint32_t bits = om.loadGcBits(addr);
+                if (bits & kMarkBit) {
+                    om.storeGcBits(addr, bits & ~kMarkBit);
+                } else {
+                    stats.bytesFreed += block.cellBytes;
+                    alloc.freeCell(addr);
+                    env.system.cpu().store(addr); // free-list link write
+                }
+                ++cells;
+            }
+            if (cells)
+                costs.charge(env.system.cpu(), kSpecSweepCell, cells);
+            env.system.poll();
+        }
+        return;
+    }
+
+    // Fast path: liveness decisions and heap mutation run host-side,
+    // the per-cell traffic issues directly in cell order — the
+    // identical event stream, with the poll staying at its historical
+    // per-block cadence.
+    Heap &heap = env.heap;
+    sim::CpuModel &cpu = env.system.cpu();
+    for (const auto &block : alloc.blocks()) {
+        std::uint32_t cells = 0;
+        for (std::uint32_t cell = 0; cell < block.bumpCells; ++cell) {
+            if (!block.allocated(cell))
+                continue;
+            const Address addr =
+                block.start + static_cast<Address>(cell) * block.cellBytes;
+            cpu.load(addr + kGcBitsOffset);
+            const std::uint32_t bits = heap.read32(addr + kGcBitsOffset);
+            if (bits & kMarkBit) {
+                heap.write32(addr + kGcBitsOffset, bits & ~kMarkBit);
+                cpu.store(addr + kGcBitsOffset);
+            } else {
+                stats.bytesFreed += block.cellBytes;
+                alloc.freeCell(addr);
+                cpu.store(addr); // free-list link write
+            }
+            ++cells;
+        }
+        if (cells)
+            costs.charge(cpu, kSpecSweepCell, cells);
+        env.system.poll();
+    }
+}
+
+} // namespace jvm
+} // namespace javelin

@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Shared sweep over one segregated free-list space, used by MarkSweep,
+ * GenMS's mature space and the incremental collector. Live cells get
+ * their mark bit cleared; dead cells go back on their free lists. Both
+ * drive modes emit the v2 per-block stream — one gcBits load and one
+ * store per allocated cell (header rewrite for survivors, free-list
+ * link write for corpses) followed by one folded kSpecSweepCell charge
+ * for the block's allocated cells; see DESIGN.md §5e.
+ */
+
+#ifndef JAVELIN_JVM_GC_SWEEPER_HH
+#define JAVELIN_JVM_GC_SWEEPER_HH
+
+#include "jvm/freelist.hh"
+#include "jvm/gc/collector.hh"
+
+namespace javelin {
+namespace jvm {
+
+/**
+ * Sweep all blocks of `alloc`, rebuilding its free lists. Charged;
+ * polls the samplers once per 16 KiB block, exactly as the historical
+ * per-collector loops did.
+ */
+void sweepFreeListSpace(const GcEnv &env, const GcCostTable &costs,
+                        FreeListAllocator &alloc, Collector::Stats &stats);
+
+} // namespace jvm
+} // namespace javelin
+
+#endif // JAVELIN_JVM_GC_SWEEPER_HH

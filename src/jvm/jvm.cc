@@ -88,7 +88,7 @@ Jvm::Jvm(sim::System &system, const Program &program,
         config_.interp.compileOnInvoke = Tier::Jitted;
 
     const GcEnv env{heap_, om_, system_, *this,
-                    config_.chargeBarrierCost};
+                    config_.chargeBarrierCost, gcFastPathDefault()};
     collector_ = makeCollector(config_.collector, env);
 
     engine_ = std::make_unique<Interpreter>(

@@ -21,6 +21,7 @@ void
 ObjectModel::initObject(Address obj, const ClassInfo &cls,
                         std::uint32_t total_bytes, std::uint32_t array_len)
 {
+    invalidateView(obj);
     heap_.write32(obj + kClassIdOffset, cls.id);
     heap_.write32(obj + kSizeOffset, total_bytes);
     heap_.write32(obj + kGcBitsOffset, 0);
@@ -96,6 +97,7 @@ ObjectModel::storeScalar(Address obj, std::uint32_t slot,
 void
 ObjectModel::copyObject(Address dst, Address src, std::uint32_t bytes)
 {
+    invalidateView(dst);
     heap_.copyBlock(dst, src, bytes);
     cpu_.copyBlock(dst, src, bytes);
 }
@@ -103,6 +105,7 @@ ObjectModel::copyObject(Address dst, Address src, std::uint32_t bytes)
 void
 ObjectModel::setForwarding(Address obj, Address to)
 {
+    invalidateView(obj);
     heap_.write32(obj + kGcBitsOffset,
                   heap_.read32(obj + kGcBitsOffset) | kForwardedBit);
     heap_.write64(obj + kClassIdOffset, to);
@@ -181,6 +184,27 @@ ObjectModel::refCountRaw(Address obj) const
     if (cls.isScalarArray)
         return 0;
     return cls.refFields;
+}
+
+const ObjectView &
+ObjectModel::viewSlow(Address obj)
+{
+    const std::uint32_t id = heap_.read32(obj + kClassIdOffset);
+    JAVELIN_ASSERT(id < classes_.size(), "corrupt object header at ", obj);
+    const ClassInfo &cls = classes_[id];
+    ObjectView v;
+    v.obj = obj;
+    v.ptr = heap_.ptr(obj);
+    v.cls = &cls;
+    v.size = heap_.read32(obj + kSizeOffset);
+    const std::uint32_t aux = heap_.read32(obj + kAuxOffset);
+    v.refs = cls.isRefArray ? aux : (cls.isScalarArray ? 0 : cls.refFields);
+    v.scalars =
+        cls.isScalarArray ? aux : (cls.isRefArray ? 0 : cls.scalarFields);
+    // Evict the runner-up, promote the new decode to MRU.
+    view_[1] = view_[0];
+    view_[0] = v;
+    return view_[0];
 }
 
 std::uint32_t

@@ -18,6 +18,7 @@
 #ifndef JAVELIN_JVM_OBJECT_MODEL_HH
 #define JAVELIN_JVM_OBJECT_MODEL_HH
 
+#include <cstring>
 #include <functional>
 
 #include "jvm/heap.hh"
@@ -45,6 +46,36 @@ constexpr std::uint32_t kClassIdOffset = 0;
 constexpr std::uint32_t kSizeOffset = 4;
 constexpr std::uint32_t kGcBitsOffset = 8;
 constexpr std::uint32_t kAuxOffset = 12;
+
+/**
+ * Memoized decode of one object's header: the host pointer to its
+ * bytes plus the layout facts (class, size, slot counts) the GC
+ * walkers re-derive constantly through classOfRaw/refCountRaw chains.
+ * Valid until the object's first header line is rewritten (initObject,
+ * copyObject destination, setForwarding) — ObjectModel invalidates its
+ * memo at exactly those points. The mutable gcBits word is *not*
+ * cached; read it through the heap.
+ */
+struct ObjectView
+{
+    Address obj = kNull;
+    const std::uint8_t *ptr = nullptr;
+    const ClassInfo *cls = nullptr;
+    std::uint32_t size = 0;
+    std::uint32_t refs = 0;
+    std::uint32_t scalars = 0;
+
+    /** Reference slot `slot` (untimed host read). */
+    Address
+    ref(std::uint32_t slot) const
+    {
+        std::uint64_t v;
+        std::memcpy(&v, ptr + kHeaderBytes +
+                            static_cast<std::size_t>(slot) * kSlotBytes,
+                    sizeof(v));
+        return v;
+    }
+};
 
 /**
  * Object layout operations over a Heap, charging a CpuModel.
@@ -131,13 +162,57 @@ class ObjectModel
                (refCountRaw(obj) + slot) * kSlotBytes;
     }
 
+    // --- memoized header decode (GC fast path, DESIGN.md §5e) ---
+
+    /**
+     * Dual-MRU memo over header decodes, the same discipline as the
+     * sim::Cache line memo: slot 0 is the most recent decode, slot 1
+     * the runner-up, a second hit swaps them. GC drain loops touch the
+     * same few classes' layouts over and over; the memo collapses the
+     * classIdRaw -> bounds-assert -> classes_[] -> aux chain to one
+     * compare per repeat. Untimed — callers charge traffic themselves.
+     * @pre obj is a live, initialized object (not kNull).
+     */
+    const ObjectView &
+    view(Address obj)
+    {
+        if (view_[0].obj == obj) [[likely]]
+            return view_[0];
+        if (view_[1].obj == obj) {
+            std::swap(view_[0], view_[1]);
+            return view_[0];
+        }
+        return viewSlow(obj);
+    }
+
+    /** Drop any memoized decode of obj (its header is being rewritten). */
+    void
+    invalidateView(Address obj)
+    {
+        if (view_[0].obj == obj)
+            view_[0] = ObjectView{};
+        if (view_[1].obj == obj)
+            view_[1] = ObjectView{};
+    }
+
+    /** Drop all memoized decodes (sweeps free cells wholesale). */
+    void
+    invalidateViews()
+    {
+        view_[0] = ObjectView{};
+        view_[1] = ObjectView{};
+    }
+
     Heap &heap() { return heap_; }
     const std::vector<ClassInfo> &classes() const { return classes_; }
 
   private:
+    const ObjectView &viewSlow(Address obj);
+
     Heap &heap_;
     sim::CpuModel &cpu_;
     const std::vector<ClassInfo> &classes_;
+    ObjectView view_[2];
 };
 
 } // namespace jvm

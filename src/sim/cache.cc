@@ -32,23 +32,30 @@ Cache::Cache(const Config &config)
     const std::size_t ways =
         static_cast<std::size_t>(numSets_) * config_.assoc;
     tags_.assign(ways + 1, kInvalidTag);
-    meta_.assign(ways, Meta());
-    mru_ = static_cast<std::uint32_t>(ways);
-    mru2_ = static_cast<std::uint32_t>(ways);
+    use_.assign(ways, 0);
+    for (std::uint32_t k = 0; k < kMemoWays; ++k)
+        memo_[k] = static_cast<std::uint32_t>(ways);
 }
 
 std::uint32_t
 Cache::pickVictim(std::uint32_t base) const
 {
-    const Meta *meta = meta_.data() + base;
+    // Invalid ways carry the sentinel tag; a free way (the last one, as
+    // the original combined scan preferred) always wins. Otherwise the
+    // packed use words order exactly like raw clock values (clocks are
+    // unique), so the strict minimum is the true LRU way.
+    const Address *tags = tags_.data() + base;
+    std::uint32_t free_way = config_.assoc;
+    for (std::uint32_t w = 0; w < config_.assoc; ++w)
+        if (tags[w] == kInvalidTag)
+            free_way = w;
+    if (free_way < config_.assoc)
+        return free_way;
+    const std::uint64_t *use = use_.data() + base;
     std::uint32_t victim = 0;
-    for (std::uint32_t w = 0; w < config_.assoc; ++w) {
-        if (!meta[w].valid)
-            victim = w; // free way always preferred
-        else if (meta[victim].valid &&
-                 meta[w].lastUse < meta[victim].lastUse)
+    for (std::uint32_t w = 1; w < config_.assoc; ++w)
+        if (use[w] < use[victim])
             victim = w;
-    }
     return victim;
 }
 
@@ -60,8 +67,7 @@ Cache::accessSlow(Address line, bool is_write)
 
     for (std::uint32_t w = 0; w < config_.assoc; ++w) {
         if (tags[w] == line) {
-            mru2_ = mru_;
-            mru_ = base + w;
+            pushMemo(base + w);
             return hitWay(base + w, is_write);
         }
     }
@@ -77,17 +83,12 @@ Cache::accessSlow(Address line, bool is_write)
     }
 
     const std::uint32_t victim = base + pickVictim(base);
-    Meta &vm = meta_[victim];
-    const bool writeback = vm.valid && vm.dirty;
+    const bool writeback = wayValid(victim) && wayDirty(victim);
     if (writeback)
         ++stats_.writebacks;
-    vm.valid = true;
-    vm.lastUse = useClock_;
-    vm.dirty = is_write;
-    vm.prefetched = false;
+    use_[victim] = (useClock_ << kUseShift) | (is_write ? kUseDirty : 0);
     tags_[victim] = line;
-    mru2_ = mru_;
-    mru_ = victim;
+    pushMemo(victim);
     return {false, writeback, false};
 }
 
@@ -99,8 +100,9 @@ Cache::insertPrefetch(Address addr)
     // pre-SoA scan (a lone clock tick with no lastUse write is
     // unobservable: only the relative order of lastUse values matters).
     ++useClock_;
-    if (tags_[mru_] == line || tags_[mru2_] == line)
-        return false; // already resident (memoized) — no state change
+    for (std::uint32_t k = 0; k < kMemoWays; ++k)
+        if (tags_[memo_[k]] == line)
+            return false; // already resident (memoized) — no state change
     const std::uint32_t base = setIndex(line) * config_.assoc;
     const Address *tags = tags_.data() + base;
     for (std::uint32_t w = 0; w < config_.assoc; ++w)
@@ -108,19 +110,14 @@ Cache::insertPrefetch(Address addr)
             return false; // already resident
 
     const std::uint32_t victim = base + pickVictim(base);
-    Meta &vm = meta_[victim];
-    if (vm.valid && vm.dirty)
+    if (wayValid(victim) && wayDirty(victim))
         ++stats_.writebacks;
-    vm.valid = true;
-    vm.lastUse = useClock_;
-    vm.dirty = false;
-    vm.prefetched = true;
+    use_[victim] = (useClock_ << kUseShift) | kUsePrefetched;
     tags_[victim] = line;
     // A demand stream catching up with the prefetcher hits this line
     // next, so memoizing the inserted way helps; the fast path
     // re-validates the tag, so a stale memo can never corrupt state.
-    mru2_ = mru_;
-    mru_ = victim;
+    pushMemo(victim);
     return true;
 }
 
@@ -139,12 +136,12 @@ Cache::contains(Address addr) const
 void
 Cache::flush()
 {
-    const std::size_t ways = meta_.size();
+    const std::size_t ways = use_.size();
     tags_.assign(ways + 1, kInvalidTag);
-    meta_.assign(ways, Meta());
+    use_.assign(ways, 0);
     useClock_ = 0;
-    mru_ = static_cast<std::uint32_t>(ways);
-    mru2_ = static_cast<std::uint32_t>(ways);
+    for (std::uint32_t k = 0; k < kMemoWays; ++k)
+        memo_[k] = static_cast<std::uint32_t>(ways);
 }
 
 } // namespace sim

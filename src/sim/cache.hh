@@ -8,13 +8,14 @@
  * this class only tracks hit/miss/victim state and statistics.
  *
  * The access path is split into an inlined MRU fast path and an
- * out-of-line way scan (DESIGN.md §5c/§5d): the model remembers the two
- * ways it touched last, and a repeated hit on either line — the dominant
- * pattern for straight-line instruction fetch and for the interpreter's
- * frame-spill line alternating with data lines — skips the scan
- * entirely. The memos are purely indices: the fast path re-validates the
- * tag, and performs exactly the same LRU clock, dirty-bit and statistics
- * updates as the scan, so no architectural event ever differs
+ * out-of-line way scan (DESIGN.md §5c/§5d): the model remembers the last
+ * few ways it touched, and a repeated hit on any of those lines — the
+ * dominant pattern for straight-line instruction fetch, for the
+ * interpreter's handler lines alternating with frame and data lines,
+ * and for the GC's scan/copy charge spans — skips the scan entirely.
+ * The memos are purely indices: the fast path re-validates the tag, and
+ * performs exactly the same LRU clock, dirty-bit and statistics updates
+ * as the scan, so no architectural event ever differs
  * (tests/test_cache_diff.cc holds an independent reference model to
  * that contract).
  *
@@ -103,11 +104,13 @@ class Cache
     access(Address addr, bool is_write)
     {
         const Address line = lineNumber(addr);
-        if (tags_[mru_] == line) [[likely]]
-            return hitWay(mru_, is_write);
-        if (tags_[mru2_] == line) {
-            std::swap(mru_, mru2_);
-            return hitWay(mru_, is_write);
+        if (tags_[memo_[0]] == line) [[likely]]
+            return hitWay(memo_[0], is_write);
+        for (std::uint32_t k = 1; k < kMemoWays; ++k) {
+            if (tags_[memo_[k]] == line) {
+                promoteMemo(k);
+                return hitWay(memo_[0], is_write);
+            }
         }
         return accessSlow(line, is_write);
     }
@@ -132,20 +135,51 @@ class Cache
     std::uint32_t numSets() const { return numSets_; }
 
   private:
-    /** Replacement/state metadata of one way (tags live separately). */
-    struct Meta
-    {
-        std::uint64_t lastUse = 0;
-        bool valid = false;
-        bool dirty = false;
-        bool prefetched = false;
-    };
-
     /**
      * Tag stored for an invalid way. lineBytes >= 2 is asserted, so a
      * real line number is always < 2^63 and can never compare equal.
      */
     static constexpr Address kInvalidTag = ~static_cast<Address>(0);
+
+    /**
+     * Replacement/state word of one way: the LRU clock value shifted
+     * left two, with the dirty bit at bit 0 and the prefetched bit at
+     * bit 1. Use clock values are unique (the clock ticks on every
+     * access), so comparing packed words orders ways exactly like
+     * comparing raw clock values — and the whole set's replacement
+     * state fits one 64-byte host line, where the old per-way struct
+     * (clock + three bools, padded) spread a set across three.
+     */
+    static constexpr std::uint64_t kUseDirty = 1;
+    static constexpr std::uint64_t kUsePrefetched = 2;
+    static constexpr std::uint64_t kUseShift = 2;
+
+    /**
+     * Memo width. Four covers the patterns two missed: the GC charge
+     * spans (scan + copy code straddle four instruction lines between
+     * them) and interpreter handler lines interleaved with frame and
+     * data lines.
+     */
+    static constexpr std::uint32_t kMemoWays = 4;
+
+    /** Move memo slot k to the front (most recent). */
+    void
+    promoteMemo(std::uint32_t k)
+    {
+        const std::uint32_t w = memo_[k];
+        for (; k > 0; --k)
+            memo_[k] = memo_[k - 1];
+        memo_[0] = w;
+    }
+
+    /** Record a scan/fill result as the most recent way. */
+    void
+    pushMemo(std::uint32_t way)
+    {
+        for (std::uint32_t k = kMemoWays - 1; k > 0; --k)
+            memo_[k] = memo_[k - 1];
+        memo_[0] = way;
+    }
 
     /** Full way scan: hit refresh or LRU-victim allocation. Updates the
      *  MRU memos to the touched way. */
@@ -160,18 +194,26 @@ class Cache
             ++stats_.writes;
         else
             ++stats_.reads;
-        Meta &m = meta_[way];
-        m.lastUse = useClock_;
-        m.dirty = m.dirty || is_write;
-        const bool was_prefetched = m.prefetched;
-        m.prefetched = false;
-        return {true, false, was_prefetched};
+        const std::uint64_t old = use_[way];
+        use_[way] = (useClock_ << kUseShift) |
+                    (old & kUseDirty) |
+                    (is_write ? kUseDirty : 0);
+        return {true, false, (old & kUsePrefetched) != 0};
     }
 
     /** Victim way (offset within the set) replicating the original
      *  combined scan: last invalid way wins, else the strict LRU
      *  minimum (first minimum wins). */
     std::uint32_t pickVictim(std::uint32_t base) const;
+
+    bool wayValid(std::uint32_t way) const
+    {
+        return tags_[way] != kInvalidTag;
+    }
+    bool wayDirty(std::uint32_t way) const
+    {
+        return (use_[way] & kUseDirty) != 0;
+    }
 
     Address lineNumber(Address addr) const { return addr >> lineShift_; }
     std::uint32_t
@@ -185,14 +227,15 @@ class Cache
     std::uint32_t numSets_;
     std::uint32_t lineShift_;
     std::uint32_t setMask_;
-    /** MRU memo slots; point at the sentinel slot when empty. */
-    std::uint32_t mru_;
-    std::uint32_t mru2_;
+    /** MRU memo slots, most recent first; empty slots point at the
+     *  sentinel tag slot. */
+    std::uint32_t memo_[kMemoWays];
     std::uint64_t useClock_ = 0;
     /** numSets_ * assoc set-major tags + one trailing sentinel slot
      *  that permanently holds kInvalidTag (the empty-memo target). */
     std::vector<Address> tags_;
-    std::vector<Meta> meta_; // numSets_ * assoc, set-major
+    /** Packed per-way replacement words, numSets_ * assoc, set-major. */
+    std::vector<std::uint64_t> use_;
 };
 
 } // namespace sim

@@ -188,6 +188,23 @@ class CpuModel
         }
     }
 
+    /**
+     * Issue `count` loads through a wrapping buffer window: addresses
+     * are base + (cursor & window_mask) with the cursor advancing by
+     * stride_bytes per load. Equivalent to the corresponding load()
+     * loop; the remembered-set replay charges its sequential-store-
+     * buffer reads through this.
+     */
+    void
+    loadWindowBlock(std::uint32_t count, Address base, std::uint64_t cursor,
+                    std::uint64_t window_mask, std::uint32_t stride_bytes)
+    {
+        for (std::uint32_t i = 0; i < count; ++i) {
+            load(base + (cursor & window_mask));
+            cursor += stride_bytes;
+        }
+    }
+
     /** Retire a branch micro-op. */
     void
     branch(bool mispredict)
