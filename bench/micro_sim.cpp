@@ -166,6 +166,36 @@ BM_EndToEndGcHeavy(benchmark::State &state)
                            benchmark::Counter::kIsRate);
 }
 
+void
+BM_EndToEndMutatorHeavy(benchmark::State &state)
+{
+    // Mutator-dominated pipeline: _201_compress is the suite's
+    // compute-dense workload (tight ALU/array kernels, low allocation
+    // rate), and a generous heap (64 MB nominal) keeps collections to a
+    // handful, so host time concentrates in the interpreter execute
+    // path — the trace executor, the folded segment charges and the
+    // per-tier cost tables (DESIGN.md §5f). This is the benchmark the
+    // execute-batching fast path is gated on; the gc_count counter
+    // makes an accidental drift into GC-bound territory visible.
+    std::uint64_t total_bytecodes = 0;
+    for (auto _ : state) {
+        harness::ExperimentConfig cfg;
+        cfg.dataset = workloads::DatasetScale::Small;
+        cfg.heapNominalMB = 64;
+        const auto res = harness::runExperiment(
+            cfg, workloads::benchmark("_201_compress"));
+        benchmark::DoNotOptimize(res.run.returnValue);
+        total_bytecodes += res.run.bytecodesExecuted;
+        state.counters["gc_count"] =
+            static_cast<double>(res.run.gc.collections);
+        state.counters["bytecodes"] =
+            static_cast<double>(res.run.bytecodesExecuted);
+    }
+    state.counters["bytecodes_per_sec"] =
+        benchmark::Counter(static_cast<double>(total_bytecodes),
+                           benchmark::Counter::kIsRate);
+}
+
 } // namespace
 
 BENCHMARK(BM_CacheAccess)->Arg(14)->Arg(18)->Arg(24);
@@ -175,5 +205,6 @@ BENCHMARK(BM_PowerUpdate);
 BENCHMARK(BM_InterpreterDispatch)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_EndToEndExperiment)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_EndToEndGcHeavy)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_EndToEndMutatorHeavy)->Unit(benchmark::kMillisecond);
 
 BENCHMARK_MAIN();

@@ -1,5 +1,8 @@
 #!/bin/sh
-# Tier-1 gate: configure, build, and run the full test suite; then a
+# Tier-1 gate: configure, build, and run the full test suite; then the
+# suite again in the two alternate dispatch modes (per-op interpreter
+# oracle via JAVELIN_INTERP_NO_FAST_PATH, and the switch-dispatch
+# fallback build without computed goto); then a
 # Debug ASan+UBSan pass over the same suite (the threaded-dispatch and
 # SoA hot paths lean on raw pointers and computed goto, exactly where
 # sanitizers earn their keep); then the perf gate: Release builds of
@@ -17,6 +20,18 @@ cd "$(dirname "$0")/.."
 cmake -B build -S .
 cmake --build build -j
 ctest --test-dir build --output-on-failure -j
+
+# --- dispatch-mode gates: the same suite must hold with the batched
+# --- interpreter fast path disabled (the per-op oracle that the
+# --- differential fuzzers compare against; its goldens must match the
+# --- fast path's bit for bit), and in the portable switch-dispatch
+# --- build without computed goto.
+JAVELIN_INTERP_NO_FAST_PATH=1 ctest --test-dir build \
+    --output-on-failure -j
+cmake -B build-fallback -S . \
+    -DCMAKE_CXX_FLAGS="-DJAVELIN_NO_COMPUTED_GOTO"
+cmake --build build-fallback -j
+ctest --test-dir build-fallback --output-on-failure -j
 
 # --- sanitizer gate (skippable for quick iteration)
 if [ "${JAVELIN_SKIP_ASAN:-0}" = "1" ]; then

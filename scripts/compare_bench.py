@@ -12,6 +12,9 @@ throughput counters of the hot-path benchmarks:
   * BM_EndToEndGcHeavy      bytecodes_per_sec (GC-dominated pipeline:
     pmd under SemiSpace at the tightest paper heap, the configuration
     the batched GC fast paths target)
+  * BM_EndToEndMutatorHeavy bytecodes_per_sec (mutator-dominated
+    pipeline: compress at a generous heap, the configuration the
+    execute-batching interpreter fast path targets)
   * BM_InterpreterDispatch  bytecodes_per_sec (interpreted-tier
     dispatch + cost-table hot path in isolation)
   * BM_CacheAccess/{14,18,24}  items_per_second (the SoA cache model)
@@ -35,6 +38,7 @@ import sys
 GATES = [
     ("BM_EndToEndExperiment", "bytecodes_per_sec"),
     ("BM_EndToEndGcHeavy", "bytecodes_per_sec"),
+    ("BM_EndToEndMutatorHeavy", "bytecodes_per_sec"),
     ("BM_InterpreterDispatch", "bytecodes_per_sec"),
     ("BM_CacheAccess/14", "items_per_second"),
     ("BM_CacheAccess/18", "items_per_second"),

@@ -37,6 +37,10 @@ Evacuator::processSlot(Address &ref)
     }
 
     const std::uint32_t size = om.sizeRaw(ref);
+    // Decode the slot count now, while the header just read for the
+    // size is host-cache hot; the scan consumes it from the work-list
+    // instead of re-decoding long after the copy evicted it.
+    const std::uint32_t refs = om.refCountRaw(ref);
     std::uint32_t traffic = 0;
     const Address to = allocTo_(size, &traffic);
     if (to == kNull) {
@@ -59,7 +63,7 @@ Evacuator::processSlot(Address &ref)
     ++copiedObjects_;
     stats_.bytesCopied += size;
     ++stats_.objectsCopied;
-    gray_.push_back(to);
+    gray_.push_back({to, refs});
 
     // Copy-path bookkeeping: plan dispatch, TIB interrogation, size
     // decode, cursor update, forwarding-word CAS.
@@ -74,11 +78,12 @@ Evacuator::processSlot(Address &ref)
  *  v2 stream: per-object folded charges, slot loads in slot order,
  *  then each slot's evacuation events and writeback. */
 bool
-Evacuator::scanObjectReference(Address obj)
+Evacuator::scanObjectReference(Address obj, std::uint32_t refs)
 {
     ObjectModel &om = env_.om;
     sim::CpuModel &cpu = env_.system.cpu();
-    const std::uint32_t refs = om.refCountRaw(obj);
+    JAVELIN_ASSERT(om.refCountRaw(obj) == refs,
+                   "stale slot count on the gray list for ", obj);
     costs_.charge(cpu, kSpecScanObject, 1);
     if (refs == 0)
         return true;
@@ -104,17 +109,16 @@ Evacuator::scanObjectReference(Address obj)
 /** Identical v2 stream driven off the ObjectView memo, accruing
  *  deficit units into unitAcc_ for the hoisted-poll drain. */
 bool
-Evacuator::scanObjectFast(Address obj)
+Evacuator::scanObjectFast(Address obj, std::uint32_t refs)
 {
     Heap &heap = env_.heap;
     sim::CpuModel &cpu = env_.system.cpu();
     // Cheney scan: every to-space object is scanned exactly once, so
-    // the dual-MRU view memo can never hit here — decode the header
-    // raw instead of paying the memo rotation (the slot array is read
-    // through a host pointer; processSlot never rewrites the slots of
-    // the object being scanned, only this loop's explicit writeback
-    // does).
-    const std::uint32_t refs = env_.om.refCountRaw(obj);
+    // the dual-MRU view memo can never hit here — the slot count rides
+    // the gray entry from the copy step instead of a header re-decode
+    // (the slot array is read through a host pointer; processSlot
+    // never rewrites the slots of the object being scanned, only this
+    // loop's explicit writeback does).
     costs_.charge(cpu, kSpecScanObject, 1);
     ++unitAcc_;
     if (refs == 0)
@@ -158,7 +162,8 @@ Evacuator::drain()
             // Only consume the entry once its scan completed: a failed
             // (out-of-space) scan leaves the object queued so a resumed
             // pass rescans it; processSlot is idempotent via forwarding.
-            if (!scanObjectReference(gray_[grayHead_]))
+            if (!scanObjectReference(gray_[grayHead_].addr,
+                                     gray_[grayHead_].refs))
                 return false;
             ++grayHead_;
             env_.system.poll();
@@ -174,7 +179,7 @@ Evacuator::drain()
         static_cast<std::int64_t>(gcPollFreeUnits(env_.system));
     while (grayHead_ < gray_.size()) {
         unitAcc_ = 0;
-        if (!scanObjectFast(gray_[grayHead_]))
+        if (!scanObjectFast(gray_[grayHead_].addr, gray_[grayHead_].refs))
             return false;
         ++grayHead_;
         budget -= static_cast<std::int64_t>(unitAcc_);

@@ -95,6 +95,20 @@ class Evacuator
     bool failed() const { return failed_; }
 
     /**
+     * Gray work-list entry: the copied object plus its reference-slot
+     * count, decoded once at copy time while the header is host-cache
+     * hot, so the scan never re-decodes a header it copied moments
+     * earlier (the old per-address list spent ~9 % of evacuation self
+     * time in that re-decode). The decode is untimed either way — the
+     * architectural event stream is unchanged.
+     */
+    struct GrayEntry
+    {
+        Address addr;
+        std::uint32_t refs;
+    };
+
+    /**
      * Clear the failure flag so the pass can be resumed after the
      * caller freed target space. Copied-but-unscanned objects stay
      * queued; the interrupted object is rescanned (idempotent).
@@ -108,19 +122,19 @@ class Evacuator
     forEachPending(Fn &&fn) const
     {
         for (std::size_t i = grayHead_; i < gray_.size(); ++i)
-            fn(gray_[i]);
+            fn(gray_[i].addr);
     }
 
   private:
-    bool scanObjectReference(Address obj);
-    bool scanObjectFast(Address obj);
+    bool scanObjectReference(Address obj, std::uint32_t refs);
+    bool scanObjectFast(Address obj, std::uint32_t refs);
 
     const GcEnv &env_;
     const GcCostTable &costs_;
     Collector::Stats &stats_;
     MoveRegion region_;
     AllocFn allocTo_;
-    std::vector<Address> gray_;
+    std::vector<GrayEntry> gray_;
     std::vector<Address> children_;
     std::size_t grayHead_ = 0;
     std::uint64_t copiedObjects_ = 0;

@@ -38,6 +38,9 @@ sweepFreeListSpace(const GcEnv &env, const GcCostTable &costs,
                 costs.charge(env.system.cpu(), kSpecSweepCell, cells);
             env.system.poll();
         }
+        // Retire fully-free blocks to the virgin pool (host metadata
+        // only; the per-cell link traffic above already happened).
+        alloc.endSweep();
         return;
     }
 
@@ -70,6 +73,7 @@ sweepFreeListSpace(const GcEnv &env, const GcCostTable &costs,
             costs.charge(cpu, kSpecSweepCell, cells);
         env.system.poll();
     }
+    alloc.endSweep();
 }
 
 } // namespace jvm

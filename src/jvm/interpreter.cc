@@ -2,11 +2,88 @@
 
 #include <algorithm>
 #include <bit>
+#include <cstdlib>
 
 namespace javelin {
 namespace jvm {
 
+bool
+interpFastPathDefault()
+{
+    static const bool on =
+        std::getenv("JAVELIN_INTERP_NO_FAST_PATH") == nullptr;
+    return on;
+}
+
 namespace {
+
+/**
+ * Opcodes the execute-batching fast path may fold into one segment
+ * charge (DESIGN.md §5f): straight-line register arithmetic with no
+ * branches, no frame or heap traffic, no polls beyond the tail check,
+ * and no failure paths. Everything else terminates a run and goes
+ * through the per-op dispatch in both modes.
+ */
+constexpr bool
+isFoldable(Op op)
+{
+    switch (op) {
+      case Op::Nop:
+      case Op::IConst:
+      case Op::Move:
+      case Op::IAdd:
+      case Op::ISub:
+      case Op::IMul:
+      case Op::IDiv:
+      case Op::IRem:
+      case Op::IXor:
+      case Op::FAdd:
+      case Op::FMul:
+      case Op::Rand:
+        return true;
+      default:
+        return false;
+    }
+}
+
+/**
+ * Opcodes the fast path may execute inside one trace (runTraceFast)
+ * without returning to the outer dispatch loop: the foldable set plus
+ * every op that neither changes the frame stack nor allocates nor
+ * polls mid-handler. Branches and heap accessors keep their exact
+ * per-op v2 charge stream inside the trace — only the foldable runs
+ * between them are folded — so the architectural events are identical
+ * to per-op dispatch. Call/Ret (frame push/pop invalidates the cached
+ * register views), New/NewArray (may collect or throw), NativeWork
+ * (polls internally) and Halt end the trace.
+ */
+constexpr bool
+isTraceable(Op op)
+{
+    switch (op) {
+      case Op::Goto:
+      case Op::IfLt:
+      case Op::IfGe:
+      case Op::IfEq:
+      case Op::IfNe:
+      case Op::IfNull:
+      case Op::IfNotNull:
+      case Op::GetField:
+      case Op::PutField:
+      case Op::GetRef:
+      case Op::PutRef:
+      case Op::GetElem:
+      case Op::PutElem:
+      case Op::GetRefElem:
+      case Op::PutRefElem:
+      case Op::ArrayLen:
+      case Op::GetStatic:
+      case Op::PutStatic:
+        return true;
+      default:
+        return isFoldable(op);
+    }
+}
 
 /**
  * Opcode list in enum order, used to build the threaded-dispatch label
@@ -116,6 +193,27 @@ Interpreter::Interpreter(sim::System &system, core::ComponentPort &port,
     intRegs_.reserve(4096);
     refRegs_.reserve(2048);
     buildTierCosts();
+    buildRunTable();
+}
+
+void
+Interpreter::buildRunTable()
+{
+    runLen_.resize(program_.methods.size());
+    for (std::size_t id = 0; id < program_.methods.size(); ++id) {
+        const Code &code = program_.methods[id].code;
+        auto &rl = runLen_[id];
+        rl.assign(code.size(), 0);
+        std::uint32_t run = 0;
+        for (std::size_t i = code.size(); i-- > 0;) {
+            if (isFoldable(code[i].op)) {
+                run = std::min<std::uint32_t>(run + 1, 0xFFFF);
+                rl[i] = static_cast<std::uint16_t>(run);
+            } else {
+                run = 0;
+            }
+        }
+    }
 }
 
 void
@@ -150,11 +248,18 @@ Interpreter::buildTierCosts()
         for (std::size_t op = 0; op < kNumOps; ++op) {
             const std::uint32_t u = kBaseUops[op];
             std::uint32_t v = u; // Interpreted/Baseline run it straight
-            if (tier == Tier::Optimized)
+            // Zero-base opcodes issue no semantic execute at all; keep
+            // their table entries 0 so the segment summation can add
+            // tc.uops[op] unconditionally.
+            if (u == 0)
+                v = 0;
+            else if (tier == Tier::Optimized)
                 v = std::max<std::uint32_t>(1, (u * 7) >> 3);
             else if (tier == Tier::Jitted)
                 v = u + (u >> 2); // naive code: ~25% more micro-ops
             tc.uops[op] = static_cast<std::uint8_t>(v);
+            tc.opExecUops[op] =
+                static_cast<std::uint8_t>(tc.dispatchUops + v);
         }
     }
 
@@ -206,6 +311,7 @@ Interpreter::pushFrame(MethodId id, const Frame *caller,
     Frame f;
     f.method = &m;
     f.rt = &methodRt_[id];
+    f.runLen = runLen_[id].data();
     f.pc = 0;
     f.intBase = static_cast<std::uint32_t>(intRegs_.size());
     f.refBase = static_cast<std::uint32_t>(refRegs_.size());
@@ -343,6 +449,275 @@ Interpreter::doNativeWork(std::uint32_t uops, std::uint32_t bytes)
     }
 }
 
+std::uint32_t
+Interpreter::sumSegmentUops(const Frame &f, const TierCost &tc,
+                            std::uint32_t pc0, std::uint32_t n,
+                            double *stall_cycles) const
+{
+    const Instruction *code = f.method->code.data() + pc0;
+    std::uint32_t uops = n * tc.dispatchUops;
+    // FP stalls are multiples of 0.5, so this sum is exact in binary
+    // and independent of accumulation grouping — the fast path's fused
+    // loop produces bit-identical values.
+    double stall = 0.0;
+    for (std::uint32_t j = 0; j < n; ++j) {
+        const Op op = code[j].op;
+        uops += tc.uops[static_cast<unsigned>(op)];
+        if (op == Op::FAdd)
+            stall += 2.5;
+        else if (op == Op::FMul)
+            stall += 3.5;
+    }
+    *stall_cycles = stall;
+    return uops;
+}
+
+void
+Interpreter::emitSegmentCharges(sim::CpuModel &cpu, const Frame &f,
+                                const TierCost &tc, std::uint32_t pc0,
+                                std::uint32_t n, std::uint32_t uops,
+                                double stall_cycles)
+{
+    if (f.rt->tier == Tier::Interpreted) {
+        // One folded execute for the run's dispatch + semantic
+        // micro-ops; the run's handler code is charged as a single
+        // resident 48-byte fetch span at the first handler (precedent:
+        // the GC copy loop's fixed kCopyCodeBytes span). The operand
+        // fetches stay per-bytecode through the block accessor.
+        cpu.execute(uops,
+                    kInterpreterCodeBase +
+                        static_cast<Address>(f.method->code[pc0].op) *
+                            128,
+                    48);
+        cpu.loadBlock(f.method->bytecodeAddr +
+                          static_cast<Address>(pc0) * sizeof(Instruction),
+                      n, sizeof(Instruction));
+    } else {
+        // Compiled tiers: the run's emitted code is contiguous — one
+        // execute spanning it touches exactly the lines the per-op
+        // walk did, each once.
+        cpu.execute(uops,
+                    f.rt->codeAddr +
+                        static_cast<Address>(pc0) * tc.bytesPerBc,
+                    n * tc.bytesPerBc);
+    }
+    if (tc.spillMask == 0) {
+        // The spill gate fires on every bytecode for mask 0: the run's
+        // loads walk the same wrapping 256-byte stack window.
+        spillCounter_ += n;
+        cpu.loadWindowBlock(n, kStackBase + frames_.size() * 256,
+                            static_cast<std::uint64_t>(pc0) * 8, 0xf8, 8);
+    } else {
+        for (std::uint32_t j = 0; j < n; ++j)
+            if (((++spillCounter_) & tc.spillMask) == 0)
+                cpu.load(kStackBase + frames_.size() * 256 +
+                         (((pc0 + j) * 8) & 0xf8));
+    }
+    if (stall_cycles != 0.0)
+        cpu.stall(stall_cycles);
+}
+
+void
+Interpreter::runSegmentFast(sim::CpuModel &cpu, Frame &f,
+                            const TierCost &tc, std::uint32_t pc0,
+                            std::uint32_t n)
+{
+    const Instruction *code = f.method->code.data() + pc0;
+    std::int64_t *ir = intRegs_.data() + f.intBase;
+    std::uint32_t uops = n * tc.dispatchUops;
+    double stall = 0.0;
+    // One pass fuses the semantics with the charge summation; the
+    // emission below is the same shared sequence the oracle issues, and
+    // host-side register writes are invisible to the cost model, so
+    // computing sums alongside execution changes nothing architectural.
+    for (std::uint32_t j = 0; j < n; ++j) {
+        const Instruction &in = code[j];
+        uops += tc.uops[static_cast<unsigned>(in.op)];
+        switch (in.op) {
+          case Op::Nop:
+            break;
+          case Op::IConst:
+            ir[in.a] = in.b;
+            break;
+          case Op::Move:
+            ir[in.a] = ir[in.b];
+            break;
+          case Op::IAdd:
+            ir[in.a] = ir[in.b] + ir[in.c];
+            break;
+          case Op::ISub:
+            ir[in.a] = ir[in.b] - ir[in.c];
+            break;
+          case Op::IMul:
+            ir[in.a] = ir[in.b] * ir[in.c];
+            break;
+          case Op::IDiv:
+            ir[in.a] =
+                ir[in.c] != 0 ? wrapDiv(ir[in.b], ir[in.c]) : 0;
+            break;
+          case Op::IRem:
+            ir[in.a] = (ir[in.c] != 0 && ir[in.c] != -1)
+                           ? ir[in.b] % ir[in.c]
+                           : 0;
+            break;
+          case Op::IXor:
+            ir[in.a] = ir[in.b] ^ ir[in.c];
+            break;
+          case Op::FAdd:
+            stall += 2.5;
+            ir[in.a] = ir[in.b] + ir[in.c];
+            break;
+          case Op::FMul:
+            stall += 3.5;
+            ir[in.a] = ir[in.b] * ir[in.c];
+            break;
+          case Op::Rand: {
+            const std::int64_t bound = ir[in.b];
+            ir[in.a] = bound > 0
+                           ? static_cast<std::int64_t>(rng_.uniformInt(
+                                 static_cast<std::uint64_t>(bound)))
+                           : 0;
+            break;
+          }
+          default:
+            JAVELIN_PANIC("non-foldable op in a folded segment");
+        }
+    }
+    emitSegmentCharges(cpu, f, tc, pc0, n, uops, stall);
+    executed_ += n;
+}
+
+/**
+ * Fast-path trace executor: runs from the current pc until the next
+ * non-traceable op (Call/Ret/New/NewArray/NativeWork/Halt), folding
+ * maximal runs of foldable bytecodes into segment charges
+ * (runSegmentFast) and executing branches and heap accessors inline
+ * with their exact per-op v2 charge stream — the same handler bodies
+ * as the oracle, included from interpreter_ops.inc below, preceded by
+ * the same dispatch/operand/spill charges the per-op front end emits.
+ * Poll and quantum countdowns tick exactly as JAVELIN_TAIL_CHECKS
+ * does (segments are clamped so boundaries land between bytecodes),
+ * and the tier cost table is re-read after every quantum since the
+ * optimizing compiler may have retiered the method.
+ *
+ * Nothing in a trace can resize the frame stack or the register
+ * pools: a collection triggered by a periodic task cannot happen (GC
+ * only runs from allocation, which ends the trace), so the ir/rr
+ * views hoisted here stay valid throughout.
+ */
+void
+Interpreter::runTraceFast(sim::CpuModel &cpu,
+                          std::uint32_t &pollCountdown,
+                          std::uint32_t &quantumCountdown)
+{
+    Frame *f = &frames_.back();
+    const MethodRuntime *rt = f->rt;
+    const TierCost *tc = &tierCosts_[static_cast<unsigned>(rt->tier)];
+    const Instruction *code = f->method->code.data();
+    std::int64_t *ir = intRegs_.data() + f->intBase;
+    Address *rr = refRegs_.data() + f->refBase;
+    const Instruction *in = nullptr;
+    std::uint32_t next = 0;
+
+    for (;;) {
+        JAVELIN_ASSERT(f->pc < f->method->code.size(),
+                       "pc fell off method ", f->method->name);
+        const std::uint32_t run = f->runLen[f->pc];
+        double fpStall = 0.0;
+        if (run != 0) {
+            const std::uint32_t n = std::min(
+                run, std::min(pollCountdown, quantumCountdown));
+            if (n > 1) {
+                runSegmentFast(cpu, *f, *tc, f->pc, n);
+                f->pc += n;
+                pollCountdown -= n;
+                if (pollCountdown == 0) {
+                    pollCountdown = config_.pollInterval;
+                    system_.poll();
+                }
+                quantumCountdown -= n;
+                if (quantumCountdown == 0) {
+                    quantumCountdown = config_.quantumBytecodes;
+                    if (onQuantum)
+                        onQuantum();
+                    tc = &tierCosts_[static_cast<unsigned>(rt->tier)];
+                }
+                continue;
+            }
+            // A segment clamped to one bytecode folds to exactly the
+            // per-op charge stream below — opExecUops is dispatch +
+            // semantic micro-ops, a one-element operand block is one
+            // load, the spill gate advances identically — plus the
+            // trailing FP stall, so skip the segment call machinery
+            // (most static runs are short; this is the hottest case).
+            const Op op0 = code[f->pc].op;
+            fpStall = op0 == Op::FAdd ? 2.5
+                      : op0 == Op::FMul ? 3.5
+                                        : 0.0;
+        }
+
+        in = &code[f->pc];
+        if (!isTraceable(in->op))
+            return;
+
+        // The per-op front-end charges, verbatim from
+        // JAVELIN_FETCH_CHARGE: folded dispatch+semantic execute (plus
+        // the bytecode operand fetch when interpreted) and the gated
+        // spill load.
+        if (rt->tier == Tier::Interpreted) {
+            cpu.execute(tc->opExecUops[static_cast<unsigned>(in->op)],
+                        kInterpreterCodeBase +
+                            static_cast<Address>(in->op) * 128,
+                        48);
+            cpu.load(f->method->bytecodeAddr +
+                     f->pc * sizeof(Instruction));
+        } else {
+            cpu.execute(tc->opExecUops[static_cast<unsigned>(in->op)],
+                        rt->codeAddr + f->pc * tc->bytesPerBc,
+                        tc->bytesPerBc);
+        }
+        if (((++spillCounter_) & tc->spillMask) == 0)
+            cpu.load(kStackBase + frames_.size() * 256 +
+                     ((f->pc * 8) & 0xf8));
+        if (fpStall != 0.0)
+            cpu.stall(fpStall);
+        ++executed_;
+        next = f->pc + 1;
+
+        // The shared handler bodies. Non-traceable cases compile here
+        // but never execute (the guard above returned); foldable cases
+        // never execute either (run != 0 took the segment path).
+        switch (in->op) {
+#define JAVELIN_OP(name) case Op::name: {
+#define JAVELIN_OP_END \
+    } \
+    break;
+#define JAVELIN_OP_END_FRAME \
+        JAVELIN_PANIC("frame-changing op executed inside a trace"); \
+    } \
+    break;
+#include "jvm/interpreter_ops.inc"
+#undef JAVELIN_OP_END_FRAME
+#undef JAVELIN_OP_END
+#undef JAVELIN_OP
+        }
+        f->pc = next;
+
+        // JAVELIN_TAIL_CHECKS, with the quantum's possible retiering
+        // folded in.
+        if (--pollCountdown == 0) {
+            pollCountdown = config_.pollInterval;
+            system_.poll();
+        }
+        if (--quantumCountdown == 0) {
+            quantumCountdown = config_.quantumBytecodes;
+            if (onQuantum)
+                onQuantum();
+            tc = &tierCosts_[static_cast<unsigned>(rt->tier)];
+        }
+    }
+}
+
 /**
  * Threaded dispatch uses the GNU computed-goto extension; any other
  * compiler (or -DJAVELIN_NO_COMPUTED_GOTO) gets the portable switch.
@@ -355,34 +730,71 @@ Interpreter::doNativeWork(std::uint32_t uops, std::uint32_t bytes)
 #endif
 
 /**
- * Per-bytecode front end, identical for both dispatch modes and to the
- * original chargeDispatch(): refresh the frame/instruction/cost views,
- * charge the dispatch execute (plus the bytecode operand fetch when
- * interpreted), gate the frame-spill load, and count the bytecode.
+ * Per-bytecode front end, identical for both dispatch modes.
+ *
+ * A foldable bytecode always sits at the head of a segment of
+ * n = min(static run length, poll countdown, quantum countdown) ≥ 1
+ * foldable bytecodes whose folded charges are emitted up front by
+ * emitSegmentCharges (DESIGN.md §5f) — the clamping means polls and
+ * quantum callbacks can only come due at a segment boundary, so the
+ * poll tick schedule is bit-identical to per-op execution. On the fast
+ * path the whole trace — folded segments plus inline branches and
+ * heap accessors — runs in runTraceFast's host loop and dispatch
+ * resumes at the first non-traceable op; in oracle mode
+ * (JAVELIN_INTERP_NO_FAST_PATH=1) the threaded dispatch executes the
+ * segment per-op with the already-paid charges suppressed
+ * (segPrepaid_). Non-foldable ops keep the historical per-op charge
+ * sequence: dispatch execute (plus the bytecode operand fetch when
+ * interpreted) and the gated frame-spill load.
  */
 #define JAVELIN_FETCH_CHARGE() \
     do { \
         f = &frames_.back(); \
         JAVELIN_ASSERT(f->pc < f->method->code.size(), \
                        "pc fell off method ", f->method->name); \
-        in = &f->method->code[f->pc]; \
         rt = f->rt; \
         tc = &tierCosts_[static_cast<unsigned>(rt->tier)]; \
-        if (rt->tier == Tier::Interpreted) { \
-            cpu.execute(tc->dispatchUops, \
-                        kInterpreterCodeBase + \
-                            static_cast<Address>(in->op) * 128, \
-                        48); \
-            cpu.load(f->method->bytecodeAddr + \
-                     f->pc * sizeof(Instruction)); \
+        if (config_.fastPath) { \
+            if (isTraceable(f->method->code[f->pc].op)) { \
+                runTraceFast(cpu, pollCountdown, quantumCountdown); \
+                rt = f->rt; \
+                tc = &tierCosts_[static_cast<unsigned>(rt->tier)]; \
+            } \
         } else { \
-            cpu.execute(tc->dispatchUops, \
-                        rt->codeAddr + f->pc * tc->bytesPerBc, \
-                        tc->bytesPerBc); \
+            const std::uint32_t run_ = f->runLen[f->pc]; \
+            if (run_ != 0 && segPrepaid_ == 0) { \
+                const std::uint32_t n_ = std::min( \
+                    run_, std::min(pollCountdown, quantumCountdown)); \
+                double stall_ = 0.0; \
+                const std::uint32_t uops_ = \
+                    sumSegmentUops(*f, *tc, f->pc, n_, &stall_); \
+                emitSegmentCharges(cpu, *f, *tc, f->pc, n_, uops_, \
+                                   stall_); \
+                segPrepaid_ = n_; \
+            } \
         } \
-        if (((++spillCounter_) & tc->spillMask) == 0) \
-            cpu.load(kStackBase + frames_.size() * 256 + \
-                     ((f->pc * 8) & 0xf8)); \
+        in = &f->method->code[f->pc]; \
+        if (segPrepaid_ != 0) { \
+            --segPrepaid_; \
+        } else { \
+            if (rt->tier == Tier::Interpreted) { \
+                cpu.execute( \
+                    tc->opExecUops[static_cast<unsigned>(in->op)], \
+                    kInterpreterCodeBase + \
+                        static_cast<Address>(in->op) * 128, \
+                    48); \
+                cpu.load(f->method->bytecodeAddr + \
+                         f->pc * sizeof(Instruction)); \
+            } else { \
+                cpu.execute( \
+                    tc->opExecUops[static_cast<unsigned>(in->op)], \
+                    rt->codeAddr + f->pc * tc->bytesPerBc, \
+                    tc->bytesPerBc); \
+            } \
+            if (((++spillCounter_) & tc->spillMask) == 0) \
+                cpu.load(kStackBase + frames_.size() * 256 + \
+                         ((f->pc * 8) & 0xf8)); \
+        } \
         ++executed_; \
         ir = intRegs_.data() + f->intBase; \
         rr = refRegs_.data() + f->refBase; \
@@ -403,16 +815,13 @@ Interpreter::doNativeWork(std::uint32_t uops, std::uint32_t bytes)
         } \
     } while (0)
 
-/** Charge Op::name's semantic micro-ops from the tier cost table. */
-#define JAVELIN_SEM_EXEC(name) \
-    cpu.execute(tc->uops[static_cast<unsigned>(Op::name)], 0, 0)
-
 std::int64_t
 Interpreter::run(MethodId entry)
 {
     JAVELIN_ASSERT(frames_.empty(), "engine already running");
     halted_ = false;
     result_ = 0;
+    segPrepaid_ = 0;
     pushFrame(entry, nullptr, -1, 0, 0);
 
     sim::CpuModel &cpu = system_.cpu();
@@ -500,7 +909,6 @@ javelin_run_done:;
     return result_;
 }
 
-#undef JAVELIN_SEM_EXEC
 #undef JAVELIN_TAIL_CHECKS
 #undef JAVELIN_FETCH_CHARGE
 #undef JAVELIN_FOR_EACH_OP

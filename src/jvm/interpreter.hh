@@ -43,6 +43,11 @@
 namespace javelin {
 namespace jvm {
 
+/** Default for Interpreter::Config::fastPath: true unless
+ *  JAVELIN_INTERP_NO_FAST_PATH is set in the environment (checked
+ *  once), mirroring gcFastPathDefault(). */
+bool interpFastPathDefault();
+
 /** Thrown when the collector cannot satisfy an allocation. */
 struct OutOfMemoryError
 {
@@ -74,6 +79,14 @@ class Interpreter
         std::uint32_t mispredictOneIn = 8;
         /** Scalar field accesses elided in optimized code: one in N. */
         std::uint32_t optElideOneIn = 4;
+        /**
+         * Use the execute-batching fast path (DESIGN.md §5f): maximal
+         * straight-line runs of foldable bytecodes execute in one host
+         * loop under one folded charge. Off = the per-op threaded
+         * dispatch, kept as the oracle for tests/test_interp_diff.cc.
+         * Both emit bit-identical architectural events and joules.
+         */
+        bool fastPath = interpFastPathDefault();
     };
 
     Interpreter(sim::System &system, core::ComponentPort &port,
@@ -109,6 +122,8 @@ class Interpreter
     {
         const MethodInfo *method;
         MethodRuntime *rt;
+        /** Per-pc foldable-run lengths of method (see buildRunTable). */
+        const std::uint16_t *runLen;
         std::uint32_t pc;
         std::uint32_t intBase;
         std::uint32_t refBase;
@@ -130,6 +145,13 @@ class Interpreter
         std::uint32_t spillMask = 0;
         /** Semantic micro-ops per opcode after the tier transform. */
         std::uint8_t uops[kNumOps] = {};
+        /**
+         * dispatchUops + uops[op]: the v3 per-op charge folds an op's
+         * semantic micro-ops into its dispatch execute (one execute
+         * call per non-foldable bytecode instead of two; the fetch
+         * span and every other event are unchanged — DESIGN.md §5f).
+         */
+        std::uint8_t opExecUops[kNumOps] = {};
     };
 
     void pushFrame(MethodId id, const Frame *caller, std::int32_t ret_dst,
@@ -137,6 +159,41 @@ class Interpreter
     void popFrame(std::int64_t value);
     void prepareMethod(MethodId id);
     void buildTierCosts();
+    void buildRunTable();
+
+    /**
+     * Emit the folded v3 charge stream for the segment of n foldable
+     * bytecodes at [pc0, pc0 + n) of frame f: one execute covering the
+     * run's dispatch + semantic micro-ops (uops) and its fetch span,
+     * the per-op operand loads (interpreted tier), the per-op
+     * spill-gate loads with exact counter semantics, then one folded
+     * stall (stall_cycles). Shared verbatim by the fast path and the
+     * per-op oracle so every floating-point accumulation happens in
+     * the same order (DESIGN.md §5f).
+     */
+    void emitSegmentCharges(sim::CpuModel &cpu, const Frame &f,
+                            const TierCost &tc, std::uint32_t pc0,
+                            std::uint32_t n, std::uint32_t uops,
+                            double stall_cycles);
+
+    /** Sum a segment's semantic micro-ops and FP stall cycles (the
+     *  oracle's charge pass; the fast path fuses this into its
+     *  execution loop — the sums are exact either way). */
+    std::uint32_t sumSegmentUops(const Frame &f, const TierCost &tc,
+                                 std::uint32_t pc0, std::uint32_t n,
+                                 double *stall_cycles) const;
+
+    /** Execute n foldable bytecodes at pc0 host-side and emit their
+     *  folded charges (the fast path's segment body). */
+    void runSegmentFast(sim::CpuModel &cpu, Frame &f, const TierCost &tc,
+                        std::uint32_t pc0, std::uint32_t n);
+
+    /** Fast-path trace executor: folded segments plus inline branch
+     *  and heap-accessor ops, until the next frame-changing or
+     *  allocating op. Ticks the countdowns exactly like the per-op
+     *  tail checks. */
+    void runTraceFast(sim::CpuModel &cpu, std::uint32_t &poll_countdown,
+                      std::uint32_t &quantum_countdown);
 
     /** Taken-branch mispredict gate; counts and fires exactly like the
      *  original (++branchCounter_ % mispredictOneIn) == 0. */
@@ -188,11 +245,18 @@ class Interpreter
     std::vector<std::int64_t> intRegs_;
     std::vector<Address> refRegs_;
 
+    /** Per-method, per-pc length of the maximal foldable run starting
+     *  there (0 = the op is not foldable); built at construction. */
+    std::vector<std::vector<std::uint16_t>> runLen_;
+
     bool needsBarrier_;
     std::uint64_t executed_ = 0;
     std::uint32_t branchCounter_ = 0;
     std::uint32_t spillCounter_ = 0;
     std::uint32_t elideCounter_ = 0;
+    /** Oracle mode: bytecodes of the current segment whose charges
+     *  were already emitted by emitSegmentCharges. */
+    std::uint32_t segPrepaid_ = 0;
     std::uint64_t nativeCursor_ = 0;
     std::int64_t result_ = 0;
     bool halted_ = false;

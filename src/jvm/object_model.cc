@@ -47,53 +47,6 @@ ObjectModel::loadSize(Address obj)
     return heap_.read32(obj + kSizeOffset);
 }
 
-std::uint32_t
-ObjectModel::loadGcBits(Address obj)
-{
-    cpu_.load(obj + kGcBitsOffset);
-    return heap_.read32(obj + kGcBitsOffset);
-}
-
-void
-ObjectModel::storeGcBits(Address obj, std::uint32_t bits)
-{
-    cpu_.store(obj + kGcBitsOffset);
-    heap_.write32(obj + kGcBitsOffset, bits);
-}
-
-Address
-ObjectModel::loadRef(Address obj, std::uint32_t slot)
-{
-    const Address a = refSlotAddr(obj, slot);
-    cpu_.load(a);
-    return heap_.read64(a);
-}
-
-void
-ObjectModel::storeRef(Address obj, std::uint32_t slot, Address value)
-{
-    const Address a = refSlotAddr(obj, slot);
-    cpu_.store(a);
-    heap_.write64(a, value);
-}
-
-std::int64_t
-ObjectModel::loadScalar(Address obj, std::uint32_t slot)
-{
-    const Address a = scalarSlotAddr(obj, slot);
-    cpu_.load(a);
-    return static_cast<std::int64_t>(heap_.read64(a));
-}
-
-void
-ObjectModel::storeScalar(Address obj, std::uint32_t slot,
-                         std::int64_t value)
-{
-    const Address a = scalarSlotAddr(obj, slot);
-    cpu_.store(a);
-    heap_.write64(a, static_cast<std::uint64_t>(value));
-}
-
 void
 ObjectModel::copyObject(Address dst, Address src, std::uint32_t bytes)
 {
@@ -119,71 +72,10 @@ ObjectModel::loadForwarding(Address obj)
     return heap_.read64(obj + kClassIdOffset);
 }
 
-std::uint32_t
-ObjectModel::classIdRaw(Address obj) const
-{
-    return heap_.read32(obj + kClassIdOffset);
-}
-
-std::uint32_t
-ObjectModel::sizeRaw(Address obj) const
-{
-    return heap_.read32(obj + kSizeOffset);
-}
-
-std::uint32_t
-ObjectModel::gcBitsRaw(Address obj) const
-{
-    return heap_.read32(obj + kGcBitsOffset);
-}
-
-void
-ObjectModel::setGcBitsRaw(Address obj, std::uint32_t bits)
-{
-    heap_.write32(obj + kGcBitsOffset, bits);
-}
-
-std::uint32_t
-ObjectModel::auxRaw(Address obj) const
-{
-    return heap_.read32(obj + kAuxOffset);
-}
-
-Address
-ObjectModel::refRaw(Address obj, std::uint32_t slot) const
-{
-    return heap_.read64(refSlotAddr(obj, slot));
-}
-
-std::int64_t
-ObjectModel::scalarRaw(Address obj, std::uint32_t slot) const
-{
-    return static_cast<std::int64_t>(heap_.read64(scalarSlotAddr(obj, slot)));
-}
-
 Address
 ObjectModel::forwardingRaw(Address obj) const
 {
     return heap_.read64(obj + kClassIdOffset);
-}
-
-const ClassInfo &
-ObjectModel::classOfRaw(Address obj) const
-{
-    const std::uint32_t id = classIdRaw(obj);
-    JAVELIN_ASSERT(id < classes_.size(), "corrupt object header at ", obj);
-    return classes_[id];
-}
-
-std::uint32_t
-ObjectModel::refCountRaw(Address obj) const
-{
-    const ClassInfo &cls = classOfRaw(obj);
-    if (cls.isRefArray)
-        return auxRaw(obj);
-    if (cls.isScalarArray)
-        return 0;
-    return cls.refFields;
 }
 
 const ObjectView &

@@ -98,17 +98,62 @@ class ObjectModel
                     std::uint32_t total_bytes, std::uint32_t array_len);
 
     // --- charged accessors (drive the cache model) ---
+    //
+    // The slot accessors and the raw header decodes they ride on are
+    // defined inline here: the interpreter's trace executor issues
+    // millions of them per simulated second, and out-of-line they cost
+    // a call/return around what is otherwise a few host loads plus the
+    // (force-inlined) CpuModel charge.
 
     /** Load the header word pair (one line access). */
     std::uint32_t loadClassId(Address obj);
     std::uint32_t loadSize(Address obj);
-    std::uint32_t loadGcBits(Address obj);
-    void storeGcBits(Address obj, std::uint32_t bits);
 
-    Address loadRef(Address obj, std::uint32_t slot);
-    void storeRef(Address obj, std::uint32_t slot, Address value);
-    std::int64_t loadScalar(Address obj, std::uint32_t slot);
-    void storeScalar(Address obj, std::uint32_t slot, std::int64_t value);
+    std::uint32_t
+    loadGcBits(Address obj)
+    {
+        cpu_.load(obj + kGcBitsOffset);
+        return heap_.read32(obj + kGcBitsOffset);
+    }
+
+    void
+    storeGcBits(Address obj, std::uint32_t bits)
+    {
+        cpu_.store(obj + kGcBitsOffset);
+        heap_.write32(obj + kGcBitsOffset, bits);
+    }
+
+    Address
+    loadRef(Address obj, std::uint32_t slot)
+    {
+        const Address a = refSlotAddr(obj, slot);
+        cpu_.load(a);
+        return heap_.read64(a);
+    }
+
+    void
+    storeRef(Address obj, std::uint32_t slot, Address value)
+    {
+        const Address a = refSlotAddr(obj, slot);
+        cpu_.store(a);
+        heap_.write64(a, value);
+    }
+
+    std::int64_t
+    loadScalar(Address obj, std::uint32_t slot)
+    {
+        const Address a = scalarSlotAddr(obj, slot);
+        cpu_.load(a);
+        return static_cast<std::int64_t>(heap_.read64(a));
+    }
+
+    void
+    storeScalar(Address obj, std::uint32_t slot, std::int64_t value)
+    {
+        const Address a = scalarSlotAddr(obj, slot);
+        cpu_.store(a);
+        heap_.write64(a, static_cast<std::uint64_t>(value));
+    }
 
     /** Copy an object's bytes (charged per 16-byte chunk). */
     void copyObject(Address dst, Address src, std::uint32_t bytes);
@@ -121,13 +166,42 @@ class ObjectModel
 
     // --- raw (untimed) accessors for host-side bookkeeping & tests ---
 
-    std::uint32_t classIdRaw(Address obj) const;
-    std::uint32_t sizeRaw(Address obj) const;
-    std::uint32_t gcBitsRaw(Address obj) const;
-    void setGcBitsRaw(Address obj, std::uint32_t bits);
-    std::uint32_t auxRaw(Address obj) const;
-    Address refRaw(Address obj, std::uint32_t slot) const;
-    std::int64_t scalarRaw(Address obj, std::uint32_t slot) const;
+    std::uint32_t
+    classIdRaw(Address obj) const
+    {
+        return heap_.read32(obj + kClassIdOffset);
+    }
+    std::uint32_t
+    sizeRaw(Address obj) const
+    {
+        return heap_.read32(obj + kSizeOffset);
+    }
+    std::uint32_t
+    gcBitsRaw(Address obj) const
+    {
+        return heap_.read32(obj + kGcBitsOffset);
+    }
+    void
+    setGcBitsRaw(Address obj, std::uint32_t bits)
+    {
+        heap_.write32(obj + kGcBitsOffset, bits);
+    }
+    std::uint32_t
+    auxRaw(Address obj) const
+    {
+        return heap_.read32(obj + kAuxOffset);
+    }
+    Address
+    refRaw(Address obj, std::uint32_t slot) const
+    {
+        return heap_.read64(refSlotAddr(obj, slot));
+    }
+    std::int64_t
+    scalarRaw(Address obj, std::uint32_t slot) const
+    {
+        return static_cast<std::int64_t>(
+            heap_.read64(scalarSlotAddr(obj, slot)));
+    }
     Address forwardingRaw(Address obj) const;
     bool
     isForwardedRaw(Address obj) const
@@ -136,10 +210,26 @@ class ObjectModel
     }
 
     /** Class of an object via its (raw) header. */
-    const ClassInfo &classOfRaw(Address obj) const;
+    const ClassInfo &
+    classOfRaw(Address obj) const
+    {
+        const std::uint32_t id = classIdRaw(obj);
+        JAVELIN_ASSERT(id < classes_.size(), "corrupt object header at ",
+                       obj);
+        return classes_[id];
+    }
 
     /** Number of reference slots (raw header reads). */
-    std::uint32_t refCountRaw(Address obj) const;
+    std::uint32_t
+    refCountRaw(Address obj) const
+    {
+        const ClassInfo &cls = classOfRaw(obj);
+        if (cls.isRefArray)
+            return auxRaw(obj);
+        if (cls.isScalarArray)
+            return 0;
+        return cls.refFields;
+    }
 
     /** Number of scalar slots (raw header reads). */
     std::uint32_t scalarCountRaw(Address obj) const;

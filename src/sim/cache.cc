@@ -33,8 +33,8 @@ Cache::Cache(const Config &config)
         static_cast<std::size_t>(numSets_) * config_.assoc;
     tags_.assign(ways + 1, kInvalidTag);
     use_.assign(ways, 0);
-    for (std::uint32_t k = 0; k < kMemoWays; ++k)
-        memo_[k] = static_cast<std::uint32_t>(ways);
+    mru_.assign(2 * static_cast<std::size_t>(numSets_),
+                static_cast<std::uint32_t>(ways));
 }
 
 std::uint32_t
@@ -62,12 +62,13 @@ Cache::pickVictim(std::uint32_t base) const
 Cache::Result
 Cache::accessSlow(Address line, bool is_write)
 {
-    const std::uint32_t base = setIndex(line) * config_.assoc;
+    const std::uint32_t set = setIndex(line);
+    const std::uint32_t base = set * config_.assoc;
     const Address *tags = tags_.data() + base;
 
     for (std::uint32_t w = 0; w < config_.assoc; ++w) {
         if (tags[w] == line) {
-            pushMemo(base + w);
+            pushMru(set, base + w);
             return hitWay(base + w, is_write);
         }
     }
@@ -88,7 +89,7 @@ Cache::accessSlow(Address line, bool is_write)
         ++stats_.writebacks;
     use_[victim] = (useClock_ << kUseShift) | (is_write ? kUseDirty : 0);
     tags_[victim] = line;
-    pushMemo(victim);
+    pushMru(set, victim);
     return {false, writeback, false};
 }
 
@@ -100,10 +101,12 @@ Cache::insertPrefetch(Address addr)
     // pre-SoA scan (a lone clock tick with no lastUse write is
     // unobservable: only the relative order of lastUse values matters).
     ++useClock_;
-    for (std::uint32_t k = 0; k < kMemoWays; ++k)
-        if (tags_[memo_[k]] == line)
-            return false; // already resident (memoized) — no state change
-    const std::uint32_t base = setIndex(line) * config_.assoc;
+    const std::uint32_t set = setIndex(line);
+    const std::uint32_t *m =
+        mru_.data() + 2 * static_cast<std::size_t>(set);
+    if (tags_[m[0]] == line || tags_[m[1]] == line)
+        return false; // already resident (memoized) — no state change
+    const std::uint32_t base = set * config_.assoc;
     const Address *tags = tags_.data() + base;
     for (std::uint32_t w = 0; w < config_.assoc; ++w)
         if (tags[w] == line)
@@ -117,7 +120,7 @@ Cache::insertPrefetch(Address addr)
     // A demand stream catching up with the prefetcher hits this line
     // next, so memoizing the inserted way helps; the fast path
     // re-validates the tag, so a stale memo can never corrupt state.
-    pushMemo(victim);
+    pushMru(set, victim);
     return true;
 }
 
@@ -140,8 +143,8 @@ Cache::flush()
     tags_.assign(ways + 1, kInvalidTag);
     use_.assign(ways, 0);
     useClock_ = 0;
-    for (std::uint32_t k = 0; k < kMemoWays; ++k)
-        memo_[k] = static_cast<std::uint32_t>(ways);
+    mru_.assign(2 * static_cast<std::size_t>(numSets_),
+                static_cast<std::uint32_t>(ways));
 }
 
 } // namespace sim

@@ -8,14 +8,18 @@
  * this class only tracks hit/miss/victim state and statistics.
  *
  * The access path is split into an inlined MRU fast path and an
- * out-of-line way scan (DESIGN.md §5c/§5d): the model remembers the last
- * few ways it touched, and a repeated hit on any of those lines — the
- * dominant pattern for straight-line instruction fetch, for the
+ * out-of-line way scan (DESIGN.md §5c/§5d): each set remembers the two
+ * ways it touched most recently, and a repeated hit on either line —
+ * the dominant pattern for straight-line instruction fetch, for the
  * interpreter's handler lines alternating with frame and data lines,
  * and for the GC's scan/copy charge spans — skips the scan entirely.
- * The memos are purely indices: the fast path re-validates the tag, and
- * performs exactly the same LRU clock, dirty-bit and statistics updates
- * as the scan, so no architectural event ever differs
+ * (The memo is per set rather than global: the mutator interleaves the
+ * frame-spill line, operand lines and scattered heap lines, which map
+ * to different sets and would evict each other from any small global
+ * memo, but each usually re-hits within its own set.) The memos are
+ * purely indices: the fast path re-validates the tag, and performs
+ * exactly the same LRU clock, dirty-bit and statistics updates as the
+ * scan, so no architectural event ever differs
  * (tests/test_cache_diff.cc holds an independent reference model to
  * that contract).
  *
@@ -95,22 +99,23 @@ class Cache
      * stores) and evicts the LRU way, reporting a writeback if the victim
      * was dirty.
      *
-     * Fast path: if either MRU memo slot still holds the addressed line,
-     * the way scan is skipped. A tag can only reside in the set it
-     * indexes and invalid ways hold the unreachable sentinel tag, so a
-     * tag match on a memoized way proves it is the right, valid line.
+     * Fast path: if either of the set's MRU memo slots still holds the
+     * addressed line, the way scan is skipped. A tag can only reside in
+     * the set it indexes and invalid ways hold the unreachable sentinel
+     * tag, so a tag match on a memoized way proves it is the right,
+     * valid line.
      */
     Result
     access(Address addr, bool is_write)
     {
         const Address line = lineNumber(addr);
-        if (tags_[memo_[0]] == line) [[likely]]
-            return hitWay(memo_[0], is_write);
-        for (std::uint32_t k = 1; k < kMemoWays; ++k) {
-            if (tags_[memo_[k]] == line) {
-                promoteMemo(k);
-                return hitWay(memo_[0], is_write);
-            }
+        std::uint32_t *m = mru_.data() +
+                           2 * static_cast<std::size_t>(setIndex(line));
+        if (tags_[m[0]] == line) [[likely]]
+            return hitWay(m[0], is_write);
+        if (tags_[m[1]] == line) {
+            std::swap(m[0], m[1]);
+            return hitWay(m[0], is_write);
         }
         return accessSlow(line, is_write);
     }
@@ -154,31 +159,14 @@ class Cache
     static constexpr std::uint64_t kUsePrefetched = 2;
     static constexpr std::uint64_t kUseShift = 2;
 
-    /**
-     * Memo width. Four covers the patterns two missed: the GC charge
-     * spans (scan + copy code straddle four instruction lines between
-     * them) and interpreter handler lines interleaved with frame and
-     * data lines.
-     */
-    static constexpr std::uint32_t kMemoWays = 4;
-
-    /** Move memo slot k to the front (most recent). */
+    /** Record a scan/fill result as its set's most recent way. */
     void
-    promoteMemo(std::uint32_t k)
+    pushMru(std::uint32_t set, std::uint32_t way)
     {
-        const std::uint32_t w = memo_[k];
-        for (; k > 0; --k)
-            memo_[k] = memo_[k - 1];
-        memo_[0] = w;
-    }
-
-    /** Record a scan/fill result as the most recent way. */
-    void
-    pushMemo(std::uint32_t way)
-    {
-        for (std::uint32_t k = kMemoWays - 1; k > 0; --k)
-            memo_[k] = memo_[k - 1];
-        memo_[0] = way;
+        std::uint32_t *m =
+            mru_.data() + 2 * static_cast<std::size_t>(set);
+        m[1] = m[0];
+        m[0] = way;
     }
 
     /** Full way scan: hit refresh or LRU-victim allocation. Updates the
@@ -227,9 +215,9 @@ class Cache
     std::uint32_t numSets_;
     std::uint32_t lineShift_;
     std::uint32_t setMask_;
-    /** MRU memo slots, most recent first; empty slots point at the
-     *  sentinel tag slot. */
-    std::uint32_t memo_[kMemoWays];
+    /** Per-set MRU memo pairs (2 * numSets_), most recent first; empty
+     *  slots point at the sentinel tag slot. */
+    std::vector<std::uint32_t> mru_;
     std::uint64_t useClock_ = 0;
     /** numSets_ * assoc set-major tags + one trailing sentinel slot
      *  that permanently holds kInvalidTag (the empty-memo target). */

@@ -14,7 +14,10 @@
  * Every per-micro-op entry point (execute/load/store/branch/stall) is
  * defined inline here so the whole hot path — dispatch, L1 lookup with
  * MRU memo, cycle accounting — compiles into the caller's loop
- * (DESIGN.md §5c). The block accessors (loadBlock/storeBlock/copyBlock/
+ * (DESIGN.md §5c). The three hottest (execute/load/branch) are
+ * force-inlined: the interpreter's trace executor has enough call
+ * sites that the compiler's code-growth heuristic would otherwise
+ * outline them, paying ~20M call/returns per simulated second. The block accessors (loadBlock/storeBlock/copyBlock/
  * execLoadBlock) are the batched entry points the interpreter, the
  * compilers and the GC copy/sweep loops use: they are defined *in terms
  * of* the single-access operations, in source order, so they are
@@ -86,10 +89,16 @@ class CpuModel
 
     /**
      * Execute a straight-line batch of micro-ops whose code occupies
-     * [code_addr, code_addr + code_bytes). Instruction fetch goes through
-     * the I-cache one access per line touched.
+     * [code_addr, code_addr + code_bytes). Instruction fetch goes
+     * through the I-cache one access per line touched, except that the
+     * front end holds the most recently fetched line in a one-line
+     * fetch buffer: a batch whose first line is still in the buffer
+     * does not re-access the I-cache for it (real fetch units stream
+     * from the fetch buffer, not the cache, while decode stays within
+     * a line). The buffer state is a pure function of the execute
+     * sequence, so both interpreter dispatch modes see it identically.
      */
-    void
+    [[gnu::always_inline]] inline void
     execute(std::uint32_t micro_ops, Address code_addr,
             std::uint32_t code_bytes)
     {
@@ -98,11 +107,13 @@ class CpuModel
         // already fetched by the surrounding dispatch batch. Line size
         // is a power of two, so the span is a shift, not a division.
         if (code_bytes > 0) {
-            const Address first = code_addr >> fetchLineShift_;
+            Address first = code_addr >> fetchLineShift_;
             const Address last =
                 (code_addr + code_bytes - 1) >> fetchLineShift_;
+            first += static_cast<Address>(first == fetchBufLine_);
             for (Address l = first; l <= last; ++l)
                 chargePenalty(memory_.fetch(l << fetchLineShift_));
+            fetchBufLine_ = last;
         }
 
         counters_.instructions += micro_ops;
@@ -110,7 +121,7 @@ class CpuModel
     }
 
     /** Issue a data load at a simulated address. */
-    void
+    [[gnu::always_inline]] inline void
     load(Address addr)
     {
         // A load is itself a retired micro-op occupying an issue slot.
@@ -206,7 +217,7 @@ class CpuModel
     }
 
     /** Retire a branch micro-op. */
-    void
+    [[gnu::always_inline]] inline void
     branch(bool mispredict)
     {
         ++counters_.branches;
@@ -316,6 +327,9 @@ class CpuModel
     PerfCounters &counters_;
     /** log2 of the L1I line size, precomputed for the fetch span. */
     std::uint32_t fetchLineShift_;
+    /** Line index held by the one-line fetch buffer (see execute);
+     *  ~0 is unreachable for any real address, so it means "empty". */
+    Address fetchBufLine_ = ~Address{0};
     double freqHz_;
     double duty_ = 1.0;
     double periodEffTicks_ = 0.0;

@@ -145,25 +145,25 @@ expectGolden(const Golden &g, const harness::ExperimentResult &res)
 constexpr Golden kGoldenJikes = {
     "Jikes",
     7398349u, 11194228u, 1325u, 132561u, 1050u, 40793u, 760u,
-    0.086131298962500297, 0.0026103471562500011,
+    0.08538650216250028, 0.0026103471562500011,
 };
 
 constexpr Golden kGoldenGenMs = {
     "GenMs",
     10883719u, 15600554u, 400u, 340576u, 2449u, 28015u, 1287u,
-    0.1225900059750004, 0.0027261511875000025,
+    0.12134708392500031, 0.0027261511875000025,
 };
 
 constexpr Golden kGoldenKaffe = {
     "Kaffe",
-    31859651u, 24782229u, 583u, 118137u, 0u, 118720u, 103705u,
-    0.022446729778750237, 0.0030673456456248678,
+    31858790u, 24782205u, 583u, 118120u, 0u, 118703u, 103687u,
+    0.022306312178750089, 0.0030669148756248699,
 };
 
 constexpr Golden kGoldenInterp = {
     "Interp",
     24300201u, 43197967u, 42u, 205683u, 266u, 10821u, 0u,
-    0.31119484850599999, 0.0041756414920000014,
+    0.3110285285060001, 0.0041756414920000014,
 };
 
 harness::ExperimentResult

@@ -1,0 +1,237 @@
+/**
+ * @file
+ * Interpreter fast-path differential tests.
+ *
+ * The execute-batching fast path (DESIGN.md §5f) — folded segment
+ * charges, the trace executor, the one-bytecode segment fall-through —
+ * must be *bit-identical* to the per-op threaded dispatch it replaces,
+ * under every compilation tier, not merely statistically close. This
+ * suite runs full JVM workloads twice, once with
+ * Interpreter::Config::fastPath on (the batched trace executor) and
+ * once off (the per-op oracle, the JAVELIN_INTERP_NO_FAST_PATH mode),
+ * and asserts exact equality of:
+ *
+ *  - every hardware performance counter (cycles and stall cycles
+ *    through their double accumulators, so the floating-point
+ *    accumulation grouping is part of the contract),
+ *  - the integrated CPU and memory energy, to the last bit,
+ *  - the periodic-task poll schedule, observed by a probe task whose
+ *    firing ticks are recorded (a fast path that hoisted a poll past
+ *    the tick a task came due would shift this trace),
+ *  - the final heap image byte-for-byte (the call stack is empty at
+ *    exit, so the return value + bytecode count pin the stack
+ *    history), and
+ *  - the semantic outcome and all collector statistics.
+ *
+ * The matrix fuzzes across workloads, heap pressures and all four
+ * tiers: pure interpretation, baseline-compiled, Kaffe-style JIT, and
+ * the adaptive configuration whose quantum callbacks retier methods
+ * mid-trace. A final golden test pins one batched run's outcome to
+ * hard constants so that a lockstep bug that changes both modes the
+ * same way is still caught (regenerate with JAVELIN_GOLDEN_PRINT=1).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <vector>
+
+#include "jvm/jvm.hh"
+#include "sim/platform.hh"
+#include "workloads/program_builder.hh"
+#include "workloads/suite.hh"
+
+using namespace javelin;
+using namespace javelin::jvm;
+
+namespace {
+
+/** One full simulated platform + JVM run in a chosen dispatch mode. */
+struct InterpRig
+{
+    InterpRig(const Program &program, Tier tier, bool adaptive,
+              CollectorKind collector, std::uint64_t heap_bytes,
+              bool fast)
+        : system(sim::p6Spec())
+    {
+        // Fires at poll points only: its tick trace IS the observable
+        // poll schedule (same probe discipline as test_gc_diff).
+        system.addPeriodicTask("poll-probe", 20000, [this](Tick t) {
+            pollTicks.push_back(t);
+        });
+        JvmConfig cfg;
+        cfg.kind = VmKind::Jikes;
+        cfg.collector = collector;
+        cfg.heapBytes = heap_bytes;
+        cfg.interp.compileOnInvoke = tier;
+        cfg.interp.fastPath = fast;
+        cfg.adaptiveOptimization = adaptive;
+        vm = std::make_unique<Jvm>(system, program, cfg);
+        run = vm->run();
+    }
+
+    sim::System system;
+    std::unique_ptr<Jvm> vm;
+    RunResult run;
+    std::vector<Tick> pollTicks;
+};
+
+#define EXPECT_COUNTER_EQ(field)                                          \
+    EXPECT_EQ(ca.field, cb.field) << "counter " #field " diverged"
+
+void
+expectIdentical(InterpRig &fast, InterpRig &ref)
+{
+    const sim::PerfCounters &ca = fast.system.counters();
+    const sim::PerfCounters &cb = ref.system.counters();
+    EXPECT_COUNTER_EQ(cycles);
+    EXPECT_COUNTER_EQ(instructions);
+    EXPECT_COUNTER_EQ(stallCycles);
+    EXPECT_COUNTER_EQ(branches);
+    EXPECT_COUNTER_EQ(branchMispredicts);
+    EXPECT_COUNTER_EQ(l1iAccesses);
+    EXPECT_COUNTER_EQ(l1iMisses);
+    EXPECT_COUNTER_EQ(l1dAccesses);
+    EXPECT_COUNTER_EQ(l1dMisses);
+    EXPECT_COUNTER_EQ(l2Accesses);
+    EXPECT_COUNTER_EQ(l2Misses);
+    EXPECT_COUNTER_EQ(l2Probes);
+    EXPECT_COUNTER_EQ(dramAccesses);
+    EXPECT_COUNTER_EQ(dramWritebacks);
+
+    // Energy integrates cycles and events through doubles: exact
+    // equality, not tolerance — the two dispatch modes must take
+    // identical rounding paths.
+    EXPECT_EQ(fast.system.cpuJoules(), ref.system.cpuJoules());
+    EXPECT_EQ(fast.system.memoryJoules(), ref.system.memoryJoules());
+
+    EXPECT_EQ(fast.pollTicks, ref.pollTicks) << "poll schedule diverged";
+
+    // Semantics: program outcome and the full allocation/GC history.
+    EXPECT_EQ(fast.run.returnValue, ref.run.returnValue);
+    EXPECT_EQ(fast.run.bytecodesExecuted, ref.run.bytecodesExecuted);
+    EXPECT_EQ(fast.run.outOfMemory, ref.run.outOfMemory);
+    EXPECT_EQ(fast.run.classesLoaded, ref.run.classesLoaded);
+    EXPECT_EQ(fast.run.methodsCompiled, ref.run.methodsCompiled);
+    EXPECT_EQ(fast.run.methodsOptimized, ref.run.methodsOptimized);
+    EXPECT_EQ(fast.run.gc.collections, ref.run.gc.collections);
+    EXPECT_EQ(fast.run.gc.bytesAllocated, ref.run.gc.bytesAllocated);
+    EXPECT_EQ(fast.run.gc.objectsAllocated, ref.run.gc.objectsAllocated);
+    EXPECT_EQ(fast.run.gc.bytesCopied, ref.run.gc.bytesCopied);
+    EXPECT_EQ(fast.run.gc.objectsCopied, ref.run.gc.objectsCopied);
+    EXPECT_EQ(fast.run.gc.pauseTicks, ref.run.gc.pauseTicks);
+
+    // Full final heap image: payloads, headers, free-list links.
+    Heap &ha = fast.vm->heap();
+    Heap &hb = ref.vm->heap();
+    ASSERT_EQ(ha.size(), hb.size());
+    EXPECT_EQ(0, std::memcmp(ha.ptr(ha.base()), hb.ptr(hb.base()),
+                             ha.size()))
+        << "heap images diverged";
+}
+
+Program
+smallWorkload(const char *name, double volume)
+{
+    workloads::StudyScale scale =
+        workloads::studyScaleFor(workloads::DatasetScale::Small);
+    scale.volume = volume;
+    return workloads::buildProgram(workloads::benchmark(name), scale);
+}
+
+struct TierCase
+{
+    const char *label;
+    Tier tier;
+    bool adaptive;
+};
+
+constexpr TierCase kTierCases[] = {
+    {"interpreted", Tier::Interpreted, false},
+    {"baseline", Tier::Baseline, false},
+    {"jitted", Tier::Jitted, false},
+    {"adaptive-optimizing", Tier::Baseline, true},
+};
+
+} // namespace
+
+class InterpDiff : public testing::TestWithParam<const char *>
+{
+};
+
+/** Batched vs per-op under all four tiers, two heap pressures. */
+TEST_P(InterpDiff, FastPathBitIdenticalAcrossTiers)
+{
+    for (const double volume : {1.0 / 32.0, 1.0 / 16.0}) {
+        const Program program = smallWorkload(GetParam(), volume);
+        for (const TierCase &tc : kTierCases) {
+            SCOPED_TRACE(testing::Message()
+                         << tc.label << " volume 1/"
+                         << static_cast<int>(1.0 / volume));
+            InterpRig fast(program, tc.tier, tc.adaptive,
+                           CollectorKind::GenCopy, 512 * kKiB, true);
+            InterpRig ref(program, tc.tier, tc.adaptive,
+                          CollectorKind::GenCopy, 512 * kKiB, false);
+            expectIdentical(fast, ref);
+        }
+    }
+}
+
+/** The non-moving free-list collector exercises a different allocation
+ *  path (and the PR 5 virgin-pool recycling) under both modes. */
+TEST_P(InterpDiff, FastPathBitIdenticalUnderMarkSweep)
+{
+    const Program program = smallWorkload(GetParam(), 1.0 / 16.0);
+    InterpRig fast(program, Tier::Baseline, true, CollectorKind::MarkSweep,
+                   768 * kKiB, true);
+    InterpRig ref(program, Tier::Baseline, true, CollectorKind::MarkSweep,
+                  768 * kKiB, false);
+    expectIdentical(fast, ref);
+}
+
+INSTANTIATE_TEST_SUITE_P(Workloads, InterpDiff,
+                         testing::Values("_202_jess", "_209_db"));
+
+/**
+ * Golden pin of one batched run: lockstep regressions (a model change
+ * that alters both modes identically) pass the differentials above but
+ * fail here. Regenerate with JAVELIN_GOLDEN_PRINT=1 ./test_interp_diff
+ * after any intentional charge-model change.
+ */
+TEST(InterpGolden, BatchedRunPinned)
+{
+    const Program program = smallWorkload("_202_jess", 1.0 / 16.0);
+    InterpRig rig(program, Tier::Baseline, true, CollectorKind::GenCopy,
+                  512 * kKiB, true);
+    const sim::PerfCounters &c = rig.system.counters();
+
+    if (std::getenv("JAVELIN_GOLDEN_PRINT") != nullptr) {
+        std::printf("    // InterpGolden.BatchedRunPinned\n"
+                    "    kCycles = %lluull;\n"
+                    "    kInstructions = %lluull;\n"
+                    "    kL1dMisses = %lluull;\n"
+                    "    kBytecodes = %lluull;\n"
+                    "    kCpuJoules = %.17g;\n",
+                    static_cast<unsigned long long>(c.cycles),
+                    static_cast<unsigned long long>(c.instructions),
+                    static_cast<unsigned long long>(c.l1dMisses),
+                    static_cast<unsigned long long>(
+                        rig.run.bytecodesExecuted),
+                    rig.system.cpuJoules());
+        GTEST_SKIP() << "golden print mode";
+    }
+
+    const std::uint64_t kCycles = 18243248ull;
+    const std::uint64_t kInstructions = 22251355ull;
+    const std::uint64_t kL1dMisses = 278281ull;
+    const std::uint64_t kBytecodes = 2350345ull;
+    const double kCpuJoules = 0.179905342331;
+
+    EXPECT_EQ(c.cycles, kCycles);
+    EXPECT_EQ(c.instructions, kInstructions);
+    EXPECT_EQ(c.l1dMisses, kL1dMisses);
+    EXPECT_EQ(rig.run.bytecodesExecuted, kBytecodes);
+    EXPECT_EQ(rig.system.cpuJoules(), kCpuJoules);
+}

@@ -261,6 +261,47 @@ TEST(FreeList, SweepRebuild)
     EXPECT_EQ(fl.usedBytes(), usedBefore + 64);
 }
 
+TEST(FreeList, FreeCellsSurviveSweeps)
+{
+    Heap heap(64 * kKiB);
+    FreeListAllocator fl(heap, Space("ms", kHeapBase, 64 * kKiB));
+    std::uint32_t traffic;
+    const Address a = fl.alloc(64, &traffic);
+    const Address b = fl.alloc(64, &traffic);
+    ASSERT_NE(b, kNull);
+    fl.freeCell(a);
+    // A sweep cycle in which the cell is neither reused nor its block
+    // emptied must keep it allocatable (the old design rebuilt the
+    // lists from the current sweep's corpses only, leaking it).
+    fl.beginSweep();
+    fl.endSweep();
+    EXPECT_EQ(fl.alloc(64, &traffic), a);
+    EXPECT_EQ(traffic, 1u);
+}
+
+TEST(FreeList, VirginPoolReassignsFreedBlocks)
+{
+    Heap heap(64 * kKiB);
+    FreeListAllocator fl(heap, Space("ms", kHeapBase, 64 * kKiB));
+    std::uint32_t traffic;
+    std::vector<Address> cells;
+    Address a;
+    while ((a = fl.alloc(64, &traffic)) != kNull)
+        cells.push_back(a);
+    // Every block is bound to the 64-byte class: a larger class finds
+    // no space even though nothing else is using the heap.
+    EXPECT_EQ(fl.alloc(1024, &traffic), kNull);
+    fl.beginSweep();
+    for (Address c : cells)
+        fl.freeCell(c);
+    fl.endSweep();
+    // All blocks retired to the virgin pool; the whole space is free
+    // again and reassignable to any class.
+    EXPECT_EQ(fl.virginBlockCount(), 4u);
+    EXPECT_EQ(fl.freeBytes(), 64 * kKiB);
+    EXPECT_NE(fl.alloc(1024, &traffic), kNull);
+}
+
 TEST(FreeList, DoubleFreePanics)
 {
     Heap heap(64 * kKiB);
