@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Energy-regression ensemble report generator (ROADMAP item 4).
+ *
+ * Runs the committed regression matrix — a small set of (benchmark x
+ * collector x heap) cells chosen to cover the GC-bound and
+ * mutator-bound corners — over the pinned seed ensemble and writes the
+ * versioned JSON report scripts/compare_ensemble.py gates on. The
+ * committed baseline lives at bench/ENSEMBLE_energy.baseline.json;
+ * regenerate it with:
+ *
+ *   build-release/bench/ensemble_report --out bench/ENSEMBLE_energy.baseline.json
+ *
+ * after any *intentional* model change, and say so in the commit (the
+ * same protocol as the golden runs). The report is deterministic for a
+ * fixed seed list at any JAVELIN_JOBS setting.
+ */
+
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "harness/ensemble.hh"
+
+using namespace javelin;
+using namespace javelin::harness;
+
+namespace {
+
+std::vector<std::uint64_t>
+parseSeeds(const std::string &csv)
+{
+    std::vector<std::uint64_t> seeds;
+    std::istringstream is(csv);
+    std::string item;
+    while (std::getline(is, item, ','))
+        if (!item.empty())
+            seeds.push_back(std::stoull(item));
+    return seeds;
+}
+
+std::vector<SweepTask>
+regressionMatrix(bool quick)
+{
+    // GC-bound (jess, tight heap) and mutator/memory-bound (db) corners
+    // under a generational and a non-generational collector. Small
+    // dataset: the gate needs distribution shape, not paper scale.
+    std::vector<SweepTask> cells;
+    const std::vector<const char *> benchmarks =
+        quick ? std::vector<const char *>{"_202_jess"}
+              : std::vector<const char *>{"_202_jess", "_209_db"};
+    const std::vector<jvm::CollectorKind> collectors =
+        quick ? std::vector<jvm::CollectorKind>{
+                    jvm::CollectorKind::SemiSpace}
+              : std::vector<jvm::CollectorKind>{
+                    jvm::CollectorKind::SemiSpace,
+                    jvm::CollectorKind::GenMS};
+    for (const char *name : benchmarks) {
+        for (const auto collector : collectors) {
+            ExperimentConfig cfg;
+            cfg.dataset = workloads::DatasetScale::Small;
+            cfg.collector = collector;
+            cfg.heapNominalMB = 32;
+            cells.push_back({cfg, workloads::benchmark(name)});
+        }
+    }
+    return cells;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string outPath;
+    EnsembleConfig cfg;
+    bool quick = false;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--out" && i + 1 < argc) {
+            outPath = argv[++i];
+        } else if (arg == "--seeds" && i + 1 < argc) {
+            cfg.seeds = parseSeeds(argv[++i]);
+        } else if (arg == "--quick") {
+            quick = true;
+        } else {
+            std::cerr << "usage: ensemble_report [--out FILE] "
+                         "[--seeds 1,2,...] [--quick]\n";
+            return 2;
+        }
+    }
+    if (cfg.seeds.empty()) {
+        std::cerr << "ensemble_report: empty seed list\n";
+        return 2;
+    }
+    if (quick)
+        cfg.seeds.resize(std::min<std::size_t>(cfg.seeds.size(), 3));
+
+    cfg.progress = consoleProgress("ensemble");
+    const auto cells = regressionMatrix(quick);
+    const auto results = EnsembleRunner(cfg).run(cells);
+
+    for (const auto &cell : results) {
+        if (cell.failures > 0)
+            std::cerr << "warning: " << cell.key << ": "
+                      << cell.failures
+                      << " failed ensemble member(s), first: "
+                      << cell.firstError << "\n";
+        const auto *total = cell.metric("total_joules");
+        std::cerr << cell.key << ": total "
+                  << total->ci.point << " J  [" << total->ci.lo << ", "
+                  << total->ci.hi << "] @" << total->ci.confidence
+                  << "\n";
+    }
+
+    if (outPath.empty()) {
+        writeEnsembleReport(std::cout, results, cfg);
+    } else {
+        std::ofstream out(outPath);
+        if (!out) {
+            std::cerr << "ensemble_report: cannot open " << outPath
+                      << "\n";
+            return 1;
+        }
+        writeEnsembleReport(out, results, cfg);
+        std::cerr << "wrote " << outPath << "\n";
+    }
+    return 0;
+}

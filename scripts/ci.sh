@@ -8,11 +8,33 @@
 # sanitizers earn their keep); then the perf gate: Release builds of
 # bench/micro_sim and bench/micro_gc whose gated throughput metrics
 # must stay within 10 % of the committed baselines (see
-# scripts/compare_bench.py). Mirrors what CI runs; keep it green before
-# pushing.
+# scripts/compare_bench.py); and finally the statistical energy gate:
+# a Release ensemble run over the pinned seed list, compared against
+# bench/ENSEMBLE_energy.baseline.json for statistically significant
+# energy/EDP regressions (see scripts/compare_ensemble.py). Mirrors
+# what CI runs; keep it green before pushing.
 set -eu
 
 cd "$(dirname "$0")/.."
+
+# --- gate-tooling self-tests and the fixture pair: the comparison
+# --- scripts check their own logic, then the ensemble gate is
+# --- exercised in both directions against committed fixtures (a
+# --- healthy re-run must pass, an injected +5 % energy regression must
+# --- fail) without running a single experiment.
+if command -v python3 > /dev/null 2>&1; then
+    python3 scripts/compare_bench.py --self-test
+    python3 scripts/compare_ensemble.py --self-test
+    python3 scripts/compare_ensemble.py tests/fixtures/ensemble_baseline.json \
+        tests/fixtures/ensemble_ok.json
+    if python3 scripts/compare_ensemble.py \
+        tests/fixtures/ensemble_baseline.json \
+        tests/fixtures/ensemble_regressed.json > /dev/null 2>&1; then
+        echo "ci.sh: ensemble gate FAILED to flag the regressed fixture" >&2
+        exit 1
+    fi
+    echo "ensemble gate fixtures: both verdicts exercised"
+fi
 
 # --- correctness gate (includes the differential fuzzers and the
 # --- golden-run regressions; see tests/test_cache_diff.cc and
@@ -67,4 +89,21 @@ if command -v python3 > /dev/null 2>&1; then
         BENCH_gc.json --max-regress 0.10
 else
     echo "ci.sh: python3 not found, skipping benchmark comparison" >&2
+fi
+
+# --- statistical energy gate: the pinned-seed ensemble must show no
+# --- statistically significant energy/EDP regression against the
+# --- committed baseline (Holm-corrected permutation test, not a fixed
+# --- threshold; the fixed-threshold micro-benchmark gates above are
+# --- unchanged). Regenerate the baseline only after intentional model
+# --- changes: build-release/bench/ensemble_report --out
+# --- bench/ENSEMBLE_energy.baseline.json, then
+# --- scripts/make_ensemble_fixtures.py.
+cmake --build build-release -j --target ensemble_report
+./build-release/bench/ensemble_report --out ENSEMBLE_current.json
+if command -v python3 > /dev/null 2>&1; then
+    python3 scripts/compare_ensemble.py \
+        bench/ENSEMBLE_energy.baseline.json ENSEMBLE_current.json
+else
+    echo "ci.sh: python3 not found, skipping the ensemble gate" >&2
 fi

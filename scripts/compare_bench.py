@@ -58,14 +58,97 @@ def load_rates(path):
     return rates
 
 
+def gate(base, cur, max_regress, out=sys.stdout):
+    """Apply the gates to two loaded rate maps; returns the exit code."""
+    floor = 1.0 - max_regress
+    gated = 0
+    failed = []
+    print(file=out)
+    for bench, counter in GATES:
+        if bench not in base or counter not in base[bench]:
+            print(f"  {bench}.{counter}: not in baseline, skipped",
+                  file=out)
+            continue
+        if bench not in cur or counter not in cur[bench]:
+            print(f"error: gated metric {bench}.{counter} present in "
+                  f"the baseline but missing from the current run",
+                  file=sys.stderr)
+            return 2
+        base_rate = base[bench][counter]
+        cur_rate = cur[bench][counter]
+        ratio = cur_rate / base_rate
+        verdict = "ok" if ratio >= floor else "REGRESSED"
+        print(f"  {bench}.{counter}: baseline {base_rate / 1e6:.2f}M, "
+              f"current {cur_rate / 1e6:.2f}M ({ratio:.2f}x) {verdict}",
+              file=out)
+        gated += 1
+        if ratio < floor:
+            failed.append(f"{bench}.{counter}")
+
+    if gated == 0:
+        print("error: no gated metric present in both runs",
+              file=sys.stderr)
+        return 2
+    if failed:
+        print(f"FAIL: {', '.join(failed)} regressed below "
+              f"{floor:.2f}x of the committed baseline", file=sys.stderr)
+        return 1
+    print(f"OK: all {gated} gated metrics within budget", file=out)
+    return 0
+
+
+def self_test():
+    """Unit checks on the gating logic; exits nonzero on failure."""
+    import contextlib
+    import io
+
+    def rates(value):
+        return {name: {counter: value} for name, counter in GATES}
+
+    def quiet_gate(base, cur, max_regress):
+        sink = io.StringIO()
+        with contextlib.redirect_stderr(sink):
+            return gate(base, cur, max_regress, out=sink)
+
+    checks = [
+        ("equal rates pass", quiet_gate(rates(1e6), rates(1e6),
+                                        0.10) == 0),
+        ("5% regression passes a 10% gate",
+         quiet_gate(rates(1e6), rates(0.95e6), 0.10) == 0),
+        ("15% regression fails a 10% gate",
+         quiet_gate(rates(1e6), rates(0.85e6), 0.10) == 1),
+        ("improvement passes", quiet_gate(rates(1e6), rates(2e6),
+                                          0.10) == 0),
+        ("missing current metric is an error",
+         quiet_gate(rates(1e6), {}, 0.10) == 2),
+        ("empty baseline is an error", quiet_gate({}, rates(1e6),
+                                                  0.10) == 2),
+    ]
+    failed = [name for name, ok in checks if not ok]
+    for name, ok in checks:
+        print(f"  {'ok' if ok else 'FAIL'}: {name}")
+    if failed:
+        print(f"self-test FAILED: {failed}", file=sys.stderr)
+        return 1
+    print(f"self-test OK ({len(checks)} checks)")
+    return 0
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
-    ap.add_argument("baseline")
-    ap.add_argument("current")
+    ap.add_argument("baseline", nargs="?")
+    ap.add_argument("current", nargs="?")
     ap.add_argument("--max-regress", type=float, default=0.10,
                     help="maximum allowed fractional regression "
                          "of each gated metric (default 0.10)")
+    ap.add_argument("--self-test", action="store_true",
+                    help="run the built-in unit checks and exit")
     args = ap.parse_args()
+
+    if args.self_test:
+        return self_test()
+    if not args.baseline or not args.current:
+        ap.error("baseline and current runs are required")
 
     base = load_rates(args.baseline)
     cur = load_rates(args.current)
@@ -79,39 +162,7 @@ def main():
                   f"{c['real_time']:>12.2f} {b.get('time_unit', 'ns')}"
                   f"  ({ratio:.2f}x)")
 
-    floor = 1.0 - args.max_regress
-    gated = 0
-    failed = []
-    print()
-    for bench, counter in GATES:
-        if bench not in base or counter not in base[bench]:
-            print(f"  {bench}.{counter}: not in baseline, skipped")
-            continue
-        if bench not in cur or counter not in cur[bench]:
-            print(f"error: gated metric {bench}.{counter} present in "
-                  f"the baseline but missing from the current run",
-                  file=sys.stderr)
-            return 2
-        base_rate = base[bench][counter]
-        cur_rate = cur[bench][counter]
-        ratio = cur_rate / base_rate
-        verdict = "ok" if ratio >= floor else "REGRESSED"
-        print(f"  {bench}.{counter}: baseline {base_rate / 1e6:.2f}M, "
-              f"current {cur_rate / 1e6:.2f}M ({ratio:.2f}x) {verdict}")
-        gated += 1
-        if ratio < floor:
-            failed.append(f"{bench}.{counter}")
-
-    if gated == 0:
-        print("error: no gated metric present in both runs",
-              file=sys.stderr)
-        return 2
-    if failed:
-        print(f"FAIL: {', '.join(failed)} regressed below "
-              f"{floor:.2f}x of the committed baseline", file=sys.stderr)
-        return 1
-    print(f"OK: all {gated} gated metrics within budget")
-    return 0
+    return gate(base, cur, args.max_regress)
 
 
 if __name__ == "__main__":

@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Regenerate the ensemble-gate test fixtures from the real baseline.
+
+Usage: make_ensemble_fixtures.py [BASELINE.json [OUTDIR]]
+
+Produces, in tests/fixtures/:
+
+  * ensemble_baseline.json   verbatim copy of the committed baseline
+  * ensemble_ok.json         the same report under harmless jitter
+                             (+-0.05% per sample, deterministic seed),
+                             i.e. a healthy re-run on slightly
+                             different hardware/noise
+  * ensemble_regressed.json  the energy metrics shifted +5%, a clearly
+                             significant regression
+
+scripts/ci.sh gates compare_ensemble.py against this pair: the ok
+fixture must pass and the regressed fixture must fail, exercising both
+verdicts without re-running any simulation. Re-run this script whenever
+bench/ENSEMBLE_energy.baseline.json is regenerated (the CI check will
+remind you: stale fixtures have a different seed list or cell set).
+"""
+
+import json
+import random
+import sys
+
+JITTER = 0.0005
+REGRESSION = 0.05
+REGRESSED_METRICS = ("total_joules", "cpu_joules", "mem_joules",
+                     "edp_js", "gt_total_joules")
+
+
+def perturbed(report, shift_metrics, shift, seed):
+    out = json.loads(json.dumps(report))  # deep copy
+    rng = random.Random(seed)
+    for cell in out["cells"]:
+        for name, metric in cell["metrics"].items():
+            factor = 1.0 + (shift if name in shift_metrics else 0.0)
+            metric["samples"] = [
+                x * factor * (1.0 + rng.uniform(-JITTER, JITTER))
+                for x in metric["samples"]
+            ]
+            if metric["samples"]:
+                metric["mean"] = (sum(metric["samples"]) /
+                                  len(metric["samples"]))
+    return out
+
+
+def main():
+    baseline_path = (sys.argv[1] if len(sys.argv) > 1
+                     else "bench/ENSEMBLE_energy.baseline.json")
+    outdir = sys.argv[2] if len(sys.argv) > 2 else "tests/fixtures"
+    with open(baseline_path) as f:
+        baseline = json.load(f)
+
+    fixtures = {
+        "ensemble_baseline.json": baseline,
+        "ensemble_ok.json": perturbed(baseline, (), 0.0, seed=42),
+        "ensemble_regressed.json": perturbed(baseline, REGRESSED_METRICS,
+                                             REGRESSION, seed=43),
+    }
+    for name, report in fixtures.items():
+        path = f"{outdir}/{name}"
+        with open(path, "w") as f:
+            json.dump(report, f, indent=1)
+            f.write("\n")
+        print(f"wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -13,7 +13,8 @@ HpmSampler::HpmSampler(sim::System &system, ComponentPort &port)
 HpmSampler::HpmSampler(sim::System &system, ComponentPort &port,
                        const Config &config)
     : system_(system), port_(port),
-      period_(config.period ? config.period : system.spec().hpmPeriod)
+      period_(config.period ? config.period : system.spec().hpmPeriod),
+      isrCostCycles_(config.isrCostCycles)
 {
     JAVELIN_ASSERT(period_ > 0, "HPM period must be positive");
     trace_.reserve(config.reserve);
@@ -25,6 +26,10 @@ HpmSampler::HpmSampler(sim::System &system, ComponentPort &port,
 void
 HpmSampler::sample(Tick now)
 {
+    // Charge the ISR before reading: the counter snapshot then includes
+    // the sampler's own work, exactly as a real OS-timer handler would.
+    if (isrCostCycles_ > 0.0)
+        system_.cpu().stall(isrCostCycles_);
     const sim::PerfCounters current = system_.counters();
     PerfSample s;
     s.tick = now;

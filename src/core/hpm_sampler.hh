@@ -30,6 +30,13 @@ class HpmSampler
         /** Sampling period; 0 means "use the platform's OS timer". */
         Tick period = 0;
         std::size_t reserve = 1 << 12;
+        /**
+         * CPU cycles charged per sample for the timer ISR that reads
+         * the counters (the measurement infrastructure's own
+         * perturbation; 0 models a free sampler and is the default so
+         * golden runs are unaffected). See bench/abl_sampling_error.
+         */
+        double isrCostCycles = 0.0;
     };
 
     HpmSampler(sim::System &system, ComponentPort &port);
@@ -45,6 +52,7 @@ class HpmSampler
     sim::System &system_;
     ComponentPort &port_;
     Tick period_;
+    double isrCostCycles_ = 0.0;
     PerfTrace trace_;
     sim::PerfCounters last_;
 };

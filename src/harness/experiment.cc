@@ -74,7 +74,9 @@ runExperiment(const ExperimentConfig &config, const jvm::Program &program)
     daqCfg.memSense.noiseVoltsRms = config.senseNoiseVoltsRms;
     daqCfg.memSense.seed = config.seed * 31 + 2;
     core::Daq daq(system, vm.port(), daqCfg);
-    core::HpmSampler hpm(system, vm.port());
+    core::HpmSampler::Config hpmCfg;
+    hpmCfg.isrCostCycles = config.hpmIsrCostCycles;
+    core::HpmSampler hpm(system, vm.port(), hpmCfg);
     core::GroundTruthAccountant truth(system, vm.port());
 
     res.run = vm.run();

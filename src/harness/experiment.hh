@@ -61,6 +61,12 @@ struct ExperimentConfig
     Tick daqPeriod = 0;
     /** HPM sampling period override (0 = platform OS timer). */
     Tick hpmPeriod = 0;
+    /**
+     * CPU cycles charged per HPM sample (timer-ISR cost; 0 keeps the
+     * sampler free as in all golden runs). Lets the sampler-overhead
+     * ablation measure the infrastructure's own energy perturbation.
+     */
+    double hpmIsrCostCycles = 0.0;
     /** Gaussian noise on the DAQ sense channels (volts RMS). */
     double senseNoiseVoltsRms = 0.0;
     /** Charge the component-port writes to the CPU. */

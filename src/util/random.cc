@@ -128,24 +128,76 @@ Rng::sizeDraw(double mean, double sigma, std::uint64_t min_value,
     return std::clamp(v, min_value, max_value);
 }
 
+namespace {
+
+/** expm1(t)/t, continuous through t = 0 (limit 1). */
+double
+zipfExpm1Ratio(double t)
+{
+    return std::abs(t) > 1e-8 ? std::expm1(t) / t : 1.0 + t / 2.0;
+}
+
+/** log1p(t)/t, continuous through t = 0 (limit 1). */
+double
+zipfLog1pRatio(double t)
+{
+    return std::abs(t) > 1e-8 ? std::log1p(t) / t : 1.0 - t / 2.0;
+}
+
+/** H(x) = integral of x^-s: (x^(1-s) - 1)/(1-s), stable through s = 1. */
+double
+zipfHIntegral(double x, double s)
+{
+    const double logX = std::log(x);
+    return zipfExpm1Ratio((1.0 - s) * logX) * logX;
+}
+
+/** Inverse of zipfHIntegral. */
+double
+zipfHIntegralInverse(double u, double s)
+{
+    double t = u * (1.0 - s);
+    // Clamp: u at the lower domain edge can round below the pole.
+    if (t < -1.0)
+        t = -1.0;
+    return std::exp(zipfLog1pRatio(t) * u);
+}
+
+} // namespace
+
 std::uint64_t
 Rng::zipf(std::uint64_t n, double s)
 {
     JAVELIN_ASSERT(n > 0, "zipf needs a positive universe");
+    JAVELIN_ASSERT(s >= 0.0, "zipf skew must be non-negative");
     if (n == 1)
         return 0;
-    // Rejection-inversion (Jain/Gross approach) works for all n without
-    // precomputing the harmonic sum table.
-    double exponent = s;
-    if (std::abs(exponent - 1.0) < 1e-9)
-        exponent = 1.0 + 1e-6; // avoid the harmonic singularity
+    // Rejection-inversion for the bounded Zipf distribution (Hörmann &
+    // Derflinger 1996, the scheme behind Apache Commons'
+    // RejectionInversionZipfSampler). Invert the continuous envelope
+    // H(x) = integral of x^-s over [0.5, n + 0.5], round to the nearest
+    // rank k, and accept k exactly when u falls inside the area the
+    // discrete mass k^-s claims under the envelope. The earlier code
+    // inverted an envelope but skipped the acceptance test entirely,
+    // which biased the ranks (and never produced rank 0 at all).
+    const double nd = static_cast<double>(n);
+    const double hX1 = zipfHIntegral(1.5, s) - 1.0;
+    const double hN = zipfHIntegral(nd + 0.5, s);
+    // Fast-accept band: |k - x| below this never needs the exact test.
+    const double fastThreshold =
+        2.0 - zipfHIntegralInverse(zipfHIntegral(2.5, s) -
+                                       std::pow(2.0, -s),
+                                   s);
     for (;;) {
-        const double u = uniform();
-        const double t = std::pow(static_cast<double>(n), 1.0 - exponent);
-        const double x = std::pow(u * (t - 1.0) + 1.0, 1.0 / (1.0 - exponent));
-        const auto k = static_cast<std::uint64_t>(x);
-        if (k < n)
-            return k;
+        const double u = hN + uniform() * (hX1 - hN);
+        const double x = zipfHIntegralInverse(u, s);
+        double k = std::floor(x + 0.5);
+        k = std::clamp(k, 1.0, nd);
+        if (k - x <= fastThreshold ||
+            u >= zipfHIntegral(k + 0.5, s) - std::pow(k, -s)) {
+            // k is 1-based; the public contract is a rank in [0, n).
+            return static_cast<std::uint64_t>(k) - 1;
+        }
     }
 }
 

@@ -54,9 +54,11 @@ class Rng
                            std::uint64_t min_value, std::uint64_t max_value);
 
     /**
-     * Zipf-distributed rank in [0, n). s is the skew parameter; larger s
-     * concentrates mass on small ranks. Uses a precomputed CDF for small n
-     * and rejection sampling otherwise.
+     * Zipf-distributed rank in [0, n): rank k is drawn with probability
+     * proportional to (k+1)^-s. s >= 0 is the skew parameter; larger s
+     * concentrates mass on small ranks (s = 0 is uniform). Exact
+     * rejection-inversion sampling (Hörmann & Derflinger), deterministic
+     * per seed.
      */
     std::uint64_t zipf(std::uint64_t n, double s);
 

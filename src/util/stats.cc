@@ -61,6 +61,20 @@ RunningStat::stddev() const
     return std::sqrt(variance());
 }
 
+double
+RunningStat::min() const
+{
+    // NaN, not 0.0: an empty accumulator must not masquerade as a real
+    // observation in reports (0 J would read as a measured minimum).
+    return n_ ? min_ : std::numeric_limits<double>::quiet_NaN();
+}
+
+double
+RunningStat::max() const
+{
+    return n_ ? max_ : std::numeric_limits<double>::quiet_NaN();
+}
+
 Histogram::Histogram(double lo, double hi, std::size_t bins)
     : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(bins)),
       counts_(bins, 0)
@@ -95,8 +109,14 @@ Histogram::percentile(double p) const
     JAVELIN_ASSERT(p >= 0.0 && p <= 1.0, "percentile out of range");
     if (total_ == 0)
         return lo_;
-    const auto target = static_cast<std::uint64_t>(
-        p * static_cast<double>(total_));
+    // Nearest-rank: the smallest value with at least ceil(p * n) samples
+    // at or below it. The rank is clamped to [1, n] so p = 0 selects the
+    // first sample rather than a rank of 0 (which every prefix count
+    // trivially satisfies — the old floor/>= pairing made p50 of a
+    // single-sample histogram report lo_ regardless of the sample).
+    const auto target = std::max<std::uint64_t>(
+        1, static_cast<std::uint64_t>(
+               std::ceil(p * static_cast<double>(total_))));
     std::uint64_t seen = underflow_;
     if (seen >= target)
         return lo_;

@@ -33,8 +33,10 @@ class RunningStat
     double mean() const { return n_ ? mean_ : 0.0; }
     double variance() const;
     double stddev() const;
-    double min() const { return n_ ? min_ : 0.0; }
-    double max() const { return n_ ? max_ : 0.0; }
+    /** Smallest observation; NaN when empty (not a real observation). */
+    double min() const;
+    /** Largest observation; NaN when empty (not a real observation). */
+    double max() const;
     double sum() const { return sum_; }
 
   private:
