@@ -10,9 +10,12 @@
  * whose stall time does not scale with the core clock.
  */
 
+#include <fstream>
 #include <iostream>
 
 #include "harness/experiment.hh"
+#include "harness/report.hh"
+#include "harness/scenario.hh"
 #include "harness/sweep.hh"
 #include "util/table.hh"
 
@@ -20,27 +23,38 @@ using namespace javelin;
 using namespace javelin::harness;
 
 int
-main()
+main(int argc, char **argv)
 {
+    // Declarative sweep: the builtin "abl-dvfs" scenario is the matrix
+    // (pinned as tests/fixtures/abl_dvfs.scenario.json); --scenario-out
+    // exports it for javelin-sweep.
+    const Scenario scenario = builtinScenario("abl-dvfs");
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--scenario-out" && i + 1 < argc) {
+            std::ofstream out(argv[++i]);
+            if (!out) {
+                std::cerr << "cannot open " << argv[i] << "\n";
+                return 1;
+            }
+            writeScenario(out, scenario);
+            return 0;
+        }
+        std::cerr << "usage: abl_dvfs [--scenario-out FILE]\n";
+        return 2;
+    }
+
     std::cout << "=== A4: DVFS sweep, Jikes RVM + GenCopy, P6 ===\n\n";
 
     const auto spec = sim::p6Spec();
-    const std::vector<const char *> names = {"_222_mpegaudio",
-                                             "_213_javac"};
-    std::vector<SweepTask> tasks;
-    for (const char *name : names) {
-        for (std::size_t i = 0; i < spec.dvfsPoints.size(); ++i) {
-            ExperimentConfig cfg;
-            cfg.collector = jvm::CollectorKind::GenCopy;
-            cfg.heapNominalMB = 32;
-            cfg.dvfsPoint = static_cast<int>(i);
-            tasks.push_back({cfg, workloads::benchmark(name)});
-        }
-    }
+    const auto &names = scenario.benchmarks;
+    const auto tasks = expandScenario(scenario);
     const auto outcomes = runSweep(tasks);
+    if (reportSweepFailures(std::cerr, tasks, outcomes) > 0)
+        return 1;
 
     std::size_t taskIdx = 0;
-    for (const char *name : names) {
+    for (const auto &name : names) {
         Table t({"point", "freq(GHz)", "volts", "time(ms)", "energy(J)",
                  "EDP(mJ*s)"});
         for (std::size_t i = 0; i < spec.dvfsPoints.size(); ++i) {

@@ -22,6 +22,7 @@
 #include <sstream>
 
 #include "harness/ensemble.hh"
+#include "harness/scenario.hh"
 
 using namespace javelin;
 using namespace javelin::harness;
@@ -40,40 +41,14 @@ parseSeeds(const std::string &csv)
     return seeds;
 }
 
-std::vector<SweepTask>
-regressionMatrix(bool quick)
-{
-    // GC-bound (jess, tight heap) and mutator/memory-bound (db) corners
-    // under a generational and a non-generational collector. Small
-    // dataset: the gate needs distribution shape, not paper scale.
-    std::vector<SweepTask> cells;
-    const std::vector<const char *> benchmarks =
-        quick ? std::vector<const char *>{"_202_jess"}
-              : std::vector<const char *>{"_202_jess", "_209_db"};
-    const std::vector<jvm::CollectorKind> collectors =
-        quick ? std::vector<jvm::CollectorKind>{
-                    jvm::CollectorKind::SemiSpace}
-              : std::vector<jvm::CollectorKind>{
-                    jvm::CollectorKind::SemiSpace,
-                    jvm::CollectorKind::GenMS};
-    for (const char *name : benchmarks) {
-        for (const auto collector : collectors) {
-            ExperimentConfig cfg;
-            cfg.dataset = workloads::DatasetScale::Small;
-            cfg.collector = collector;
-            cfg.heapNominalMB = 32;
-            cells.push_back({cfg, workloads::benchmark(name)});
-        }
-    }
-    return cells;
-}
-
 } // namespace
 
 int
 main(int argc, char **argv)
 {
     std::string outPath;
+    std::string scenarioPath;
+    std::string scenarioOutPath;
     EnsembleConfig cfg;
     bool quick = false;
     for (int i = 1; i < argc; ++i) {
@@ -84,9 +59,15 @@ main(int argc, char **argv)
             cfg.seeds = parseSeeds(argv[++i]);
         } else if (arg == "--quick") {
             quick = true;
+        } else if (arg == "--scenario" && i + 1 < argc) {
+            scenarioPath = argv[++i];
+        } else if (arg == "--scenario-out" && i + 1 < argc) {
+            scenarioOutPath = argv[++i];
         } else {
             std::cerr << "usage: ensemble_report [--out FILE] "
-                         "[--seeds 1,2,...] [--quick]\n";
+                         "[--seeds 1,2,...] [--quick]\n"
+                         "                       [--scenario FILE] "
+                         "[--scenario-out FILE]\n";
             return 2;
         }
     }
@@ -97,8 +78,36 @@ main(int argc, char **argv)
     if (quick)
         cfg.seeds.resize(std::min<std::size_t>(cfg.seeds.size(), 3));
 
+    // The regression matrix is data: the builtin "ensemble-regression"
+    // scenario (pinned as tests/fixtures/ensemble_regression.scenario
+    // .json), or any scenario file passed with --scenario. The quick
+    // mode prunes the matrix to its GC-bound corner.
+    Scenario scenario;
+    try {
+        scenario = scenarioPath.empty()
+                       ? builtinScenario("ensemble-regression")
+                       : parseScenarioFile(scenarioPath);
+    } catch (const ScenarioError &e) {
+        std::cerr << "ensemble_report: " << e.what() << "\n";
+        return 2;
+    }
+    if (quick && scenarioPath.empty()) {
+        scenario.benchmarks = {"_202_jess"};
+        scenario.collectors = {jvm::CollectorKind::SemiSpace};
+    }
+    if (!scenarioOutPath.empty()) {
+        std::ofstream out(scenarioOutPath);
+        if (!out) {
+            std::cerr << "ensemble_report: cannot open "
+                      << scenarioOutPath << "\n";
+            return 1;
+        }
+        writeScenario(out, scenario);
+        return 0;
+    }
+
     cfg.progress = consoleProgress("ensemble");
-    const auto cells = regressionMatrix(quick);
+    const auto cells = expandScenario(scenario);
     const auto results = EnsembleRunner(cfg).run(cells);
 
     for (const auto &cell : results) {

@@ -13,49 +13,57 @@
  */
 
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 
 #include "core/energy_accounting.hh"
 #include "harness/experiment.hh"
 #include "harness/report.hh"
+#include "harness/scenario.hh"
 #include "harness/sweep.hh"
 
 using namespace javelin;
 using namespace javelin::harness;
 
 int
-main()
+main(int argc, char **argv)
 {
-    const bool fast = std::getenv("JAVELIN_FAST") != nullptr;
-    const std::vector<jvm::CollectorKind> collectors = {
-        jvm::CollectorKind::SemiSpace, jvm::CollectorKind::MarkSweep,
-        jvm::CollectorKind::GenCopy, jvm::CollectorKind::GenMS};
+    // The sweep is data, not code: the builtin "fig07-edp" scenario is
+    // the matrix, --scenario-out exports it for javelin-sweep (the
+    // committed copy is tests/fixtures/fig07_edp.scenario.json).
+    Scenario scenario = builtinScenario("fig07-edp");
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--scenario-out" && i + 1 < argc) {
+            std::ofstream out(argv[++i]);
+            if (!out) {
+                std::cerr << "cannot open " << argv[i] << "\n";
+                return 1;
+            }
+            writeScenario(out, scenario);
+            return 0;
+        }
+        std::cerr << "usage: fig07_edp_collectors [--scenario-out "
+                     "FILE]\n";
+        return 2;
+    }
+
+    if (std::getenv("JAVELIN_FAST") != nullptr)
+        scenario.benchmarks = {"_213_javac", "_209_db",
+                               "_222_mpegaudio", "euler"};
 
     std::vector<workloads::BenchmarkProfile> benches;
-    if (fast) {
-        for (const char *n :
-             {"_213_javac", "_209_db", "_222_mpegaudio", "euler"})
-            benches.push_back(workloads::benchmark(n));
-    } else {
-        benches = workloads::allBenchmarks();
-    }
-    const std::vector<std::uint32_t> heaps(kP6HeapsMB.begin(),
-                                           kP6HeapsMB.end());
+    for (const auto &name : scenario.benchmarks)
+        benches.push_back(workloads::benchmark(name));
+    const auto &collectors = scenario.collectors;
+    const auto &heaps = scenario.heapsMB;
 
-    std::vector<SweepTask> tasks;
-    for (const auto &bench : benches) {
-        for (const auto collector : collectors) {
-            for (const auto heap : heaps) {
-                ExperimentConfig cfg;
-                cfg.collector = collector;
-                cfg.heapNominalMB = heap;
-                tasks.push_back({cfg, bench});
-            }
-        }
-    }
+    const auto tasks = expandScenario(scenario);
     SweepRunner::Config rc;
     rc.progress = consoleProgress("fig07 sweep");
     const auto outcomes = SweepRunner(rc).run(tasks);
+    if (reportSweepFailures(std::cerr, tasks, outcomes) > 0)
+        return 1;
 
     std::vector<std::vector<ExperimentResult>> rows;
     for (std::size_t i = 0; i < outcomes.size(); i += heaps.size()) {

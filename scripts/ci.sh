@@ -43,6 +43,41 @@ cmake -B build -S .
 cmake --build build -j
 ctest --test-dir build --output-on-failure -j
 
+# --- kill-and-resume smoke: SIGKILL javelin-sweep mid-run via the
+# --- JAVELIN_JOB_CRASH_AFTER hook, resume from the journal, and
+# --- require (a) the resumed report byte-identical to an
+# --- uninterrupted run and (b) the resume restored work and executed
+# --- strictly fewer shards than the sweep holds — proof the
+# --- checkpoint carried results across a hard crash.
+SWEEP=build/src/tools/javelin-sweep
+SMOKE=examples/scenarios/smoke.scenario.json
+SMOKE_DIR=build/smoke
+rm -rf "$SMOKE_DIR"
+mkdir -p "$SMOKE_DIR"
+"$SWEEP" "$SMOKE" --jobs 2 --out "$SMOKE_DIR/clean.json" \
+    2> /dev/null
+if JAVELIN_JOB_CRASH_AFTER=3 "$SWEEP" "$SMOKE" --jobs 2 \
+    --checkpoint "$SMOKE_DIR/journal.jsonl" \
+    --out "$SMOKE_DIR/crashed.json" 2> /dev/null; then
+    echo "ci.sh: crash injection did not kill javelin-sweep" >&2
+    exit 1
+fi
+"$SWEEP" "$SMOKE" --jobs 2 --checkpoint "$SMOKE_DIR/journal.jsonl" \
+    --resume --out "$SMOKE_DIR/resumed.json" \
+    2> "$SMOKE_DIR/resume.log"
+cmp "$SMOKE_DIR/clean.json" "$SMOKE_DIR/resumed.json"
+stats=$(grep 'checkpoint: restored=' "$SMOKE_DIR/resume.log" | tail -n 1)
+restored=${stats#*restored=}; restored=${restored%% *}
+executed=${stats#*executed=}; executed=${executed%% *}
+total=${stats#*total=}
+if [ "$restored" -lt 1 ] || [ "$executed" -ge "$total" ] ||
+    [ $((restored + executed)) -ne "$total" ]; then
+    echo "ci.sh: resume accounting wrong: $stats" >&2
+    exit 1
+fi
+echo "kill-and-resume smoke: report byte-identical," \
+    "restored=$restored executed=$executed total=$total"
+
 # --- dispatch-mode gates: the same suite must hold with the batched
 # --- interpreter fast path disabled (the per-op oracle that the
 # --- differential fuzzers compare against; its goldens must match the

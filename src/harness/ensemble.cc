@@ -7,6 +7,7 @@
 
 #include "jvm/gc/collector.hh"
 #include "jvm/jvm.hh"
+#include "util/json.hh"
 #include "util/logging.hh"
 
 namespace javelin {
@@ -20,9 +21,10 @@ platformName(sim::PlatformKind kind)
     return kind == sim::PlatformKind::P6 ? "P6" : "PXA255";
 }
 
-/** The fixed per-run metric vector; order matches ensembleMetricNames. */
+} // namespace
+
 std::vector<double>
-extractMetrics(const ExperimentResult &res)
+ensembleMetrics(const ExperimentResult &res)
 {
     const double seconds = res.run.seconds();
     const double throughput =
@@ -50,31 +52,7 @@ extractMetrics(const ExperimentResult &res)
     };
 }
 
-/** JSON double: full round-trip precision, NaN/inf as null. */
-void
-writeJsonNumber(std::ostream &os, double v)
-{
-    if (!std::isfinite(v)) {
-        os << "null";
-        return;
-    }
-    std::ostringstream tmp;
-    tmp.precision(17);
-    tmp << v;
-    os << tmp.str();
-}
-
-void
-writeJsonString(std::ostream &os, const std::string &s)
-{
-    os << '"';
-    for (const char c : s) {
-        if (c == '"' || c == '\\')
-            os << '\\';
-        os << c;
-    }
-    os << '"';
-}
+namespace {
 
 /** FNV-1a, so bootstrap streams are stable across standard libraries. */
 std::uint64_t
@@ -159,7 +137,7 @@ EnsembleRunner::run(const std::vector<SweepTask> &cells) const
                 const ExperimentResult res =
                     runExperiment(task.config, task.profile);
                 if (res.ok()) {
-                    slot.metrics = extractMetrics(res);
+                    slot.metrics = ensembleMetrics(res);
                     slot.ok = true;
                 } else {
                     slot.error = res.run.outOfMemory
@@ -231,42 +209,42 @@ writeEnsembleReport(std::ostream &os,
         os << (i ? ", " : "") << config.seeds[i];
     os << "],\n";
     os << "  \"confidence\": ";
-    writeJsonNumber(os, config.confidence);
+    json::writeNumber(os, config.confidence);
     os << ",\n  \"resamples\": " << config.resamples << ",\n";
     os << "  \"sense_noise_volts_rms\": ";
-    writeJsonNumber(os, config.senseNoiseVoltsRms);
+    json::writeNumber(os, config.senseNoiseVoltsRms);
     os << ",\n  \"cells\": [\n";
     for (std::size_t c = 0; c < cells.size(); ++c) {
         const auto &cell = cells[c];
         os << "    {\n      \"key\": ";
-        writeJsonString(os, cell.key);
+        json::writeString(os, cell.key);
         os << ",\n      \"benchmark\": ";
-        writeJsonString(os, cell.cell.profile.name);
+        json::writeString(os, cell.cell.profile.name);
         os << ",\n      \"collector\": ";
-        writeJsonString(os,
+        json::writeString(os,
                         jvm::collectorName(cell.cell.config.collector));
         os << ",\n      \"vm\": ";
-        writeJsonString(os, jvm::vmKindName(cell.cell.config.vm));
+        json::writeString(os, jvm::vmKindName(cell.cell.config.vm));
         os << ",\n      \"heap_mb\": " << cell.cell.config.heapNominalMB;
         os << ",\n      \"platform\": ";
-        writeJsonString(os, platformName(cell.cell.config.platform));
+        json::writeString(os, platformName(cell.cell.config.platform));
         os << ",\n      \"failures\": " << cell.failures;
         os << ",\n      \"metrics\": {\n";
         for (std::size_t m = 0; m < cell.metrics.size(); ++m) {
             const auto &metric = cell.metrics[m];
             os << "        ";
-            writeJsonString(os, metric.name);
+            json::writeString(os, metric.name);
             os << ": {\"samples\": [";
             for (std::size_t i = 0; i < metric.samples.size(); ++i) {
                 os << (i ? ", " : "");
-                writeJsonNumber(os, metric.samples[i]);
+                json::writeNumber(os, metric.samples[i]);
             }
             os << "], \"mean\": ";
-            writeJsonNumber(os, metric.ci.point);
+            json::writeNumber(os, metric.ci.point);
             os << ", \"ci_lo\": ";
-            writeJsonNumber(os, metric.ci.lo);
+            json::writeNumber(os, metric.ci.lo);
             os << ", \"ci_hi\": ";
-            writeJsonNumber(os, metric.ci.hi);
+            json::writeNumber(os, metric.ci.hi);
             os << "}" << (m + 1 < cell.metrics.size() ? "," : "")
                << "\n";
         }

@@ -86,6 +86,13 @@ struct EnsembleConfig
 const std::vector<std::string> &ensembleMetricNames();
 
 /**
+ * The fixed per-run metric vector, in ensembleMetricNames() order.
+ * Shared with the job engine, whose checkpoint payloads journal the
+ * same vector per shard.
+ */
+std::vector<double> ensembleMetrics(const ExperimentResult &res);
+
+/**
  * Runs cells x seeds and reduces to per-cell metric distributions.
  */
 class EnsembleRunner

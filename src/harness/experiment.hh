@@ -104,7 +104,18 @@ struct ExperimentResult
     double maxTemperatureC = 0.0;
     double throttledSeconds = 0.0;
 
-    bool ok() const { return !run.outOfMemory && !run.stackOverflow; }
+    /**
+     * The harness itself failed (an exception escaped the run). Set by
+     * the sweep engines so a failed shard can never masquerade as a
+     * successful zero-energy run in downstream tables.
+     */
+    bool failed = false;
+    std::string failMessage;
+
+    bool ok() const
+    {
+        return !failed && !run.outOfMemory && !run.stackOverflow;
+    }
 
     /** Energy-delay product over measured totals (J*s). */
     double edp() const;

@@ -3,6 +3,19 @@
 #include <ostream>
 #include <string>
 
+#include "harness/scenario.hh"
+
+namespace {
+
+/** Table label for a run that produced no numbers. */
+const char *
+failureLabel(const javelin::harness::ExperimentResult &r)
+{
+    return r.failed ? "FAIL" : "OOM";
+}
+
+} // namespace
+
 namespace javelin {
 namespace harness {
 
@@ -39,7 +52,7 @@ energyDecompositionTable(const std::vector<ExperimentResult> &results,
             static_cast<std::int64_t>(r.config.heapNominalMB));
         if (!r.ok()) {
             for (std::size_t i = 0; i < components.size() + 2; ++i)
-                t.cell("OOM");
+                t.cell(failureLabel(r));
             continue;
         }
         for (const auto c : components)
@@ -70,7 +83,7 @@ edpTable(const std::vector<std::vector<ExperimentResult>> &rows,
             if (r.ok())
                 t.cell(r.edp() * 1e3, 3); // mJ*s at study scale
             else
-                t.cell("OOM");
+                t.cell(failureLabel(r));
         }
     }
     return t;
@@ -93,7 +106,7 @@ powerTable(const std::vector<ExperimentResult> &results,
             static_cast<std::int64_t>(r.config.heapNominalMB));
         if (!r.ok()) {
             for (std::size_t i = 0; i < components.size() * 2; ++i)
-                t.cell("OOM");
+                t.cell(failureLabel(r));
             continue;
         }
         for (const auto c : components) {
@@ -112,8 +125,12 @@ printRunSummary(std::ostream &os, const ExperimentResult &r)
        << jvm::collectorName(r.config.collector) << " heap "
        << r.config.heapNominalMB << "MB] ";
     if (!r.ok()) {
-        os << (r.run.outOfMemory ? "OUT-OF-MEMORY" : "STACK-OVERFLOW")
-           << "\n";
+        if (r.failed)
+            os << "HARNESS-FAILURE: " << r.failMessage << "\n";
+        else
+            os << (r.run.outOfMemory ? "OUT-OF-MEMORY"
+                                     : "STACK-OVERFLOW")
+               << "\n";
         return;
     }
     os << "time " << r.run.seconds() * 1e3 << " ms, cpu "
@@ -122,6 +139,30 @@ printRunSummary(std::ostream &os, const ExperimentResult &r)
        << r.attribution.jvmEnergyFraction() * 100.0 << "%, GCs "
        << r.run.gc.collections << ", bytecodes "
        << r.run.bytecodesExecuted << "\n";
+}
+
+std::size_t
+reportSweepFailures(std::ostream &os,
+                    const std::vector<SweepTask> &tasks,
+                    const std::vector<SweepOutcome> &outcomes)
+{
+    // Harness failures only: a simulated OOM/stack overflow is a
+    // legitimate experimental result ("did not fit", shown as OOM in
+    // the tables), but a worker exception means the shard never ran.
+    std::size_t failures = 0;
+    for (std::size_t i = 0; i < outcomes.size(); ++i) {
+        const auto &o = outcomes[i];
+        if (!o.error.failed && !o.result.failed)
+            continue;
+        ++failures;
+        const std::string key =
+            i < tasks.size() ? shardKey(tasks[i]) : "<unknown shard>";
+        os << "sweep failure: shard " << i << " [" << key
+           << "]: " << (o.error.failed ? o.error.message
+                                       : o.result.failMessage)
+           << "\n";
+    }
+    return failures;
 }
 
 } // namespace harness

@@ -10,7 +10,7 @@
 #include <iosfwd>
 #include <vector>
 
-#include "harness/experiment.hh"
+#include "harness/sweep.hh"
 #include "util/table.hh"
 
 namespace javelin {
@@ -46,6 +46,16 @@ Table powerTable(const std::vector<ExperimentResult> &results,
 
 /** Echo an experiment one-liner (benchmark, config, headline numbers). */
 void printRunSummary(std::ostream &os, const ExperimentResult &res);
+
+/**
+ * Surface every failed sweep outcome (shard key + error message) on
+ * os; returns the failure count. Drivers call this instead of
+ * silently indexing outcome.result — a worker exception must never
+ * disappear into a table of zeros.
+ */
+std::size_t reportSweepFailures(std::ostream &os,
+                                const std::vector<SweepTask> &tasks,
+                                const std::vector<SweepOutcome> &outcomes);
 
 } // namespace harness
 } // namespace javelin

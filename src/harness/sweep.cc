@@ -115,6 +115,17 @@ SweepRunner::run(const std::vector<SweepTask> &tasks) const
             } catch (...) {
                 outcomes[i].error = {true, "unknown exception"};
             }
+            if (outcomes[i].error.failed) {
+                // A failed task must not look like a successful
+                // zero-energy run: stamp the outcome's result with the
+                // task identity and the failure so report tables and
+                // summaries surface it (result.ok() is now false).
+                auto &res = outcomes[i].result;
+                res.config = task.config;
+                res.benchmark = task.profile.name;
+                res.failed = true;
+                res.failMessage = outcomes[i].error.message;
+            }
         },
         config_.progress);
 
