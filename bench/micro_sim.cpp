@@ -134,6 +134,35 @@ BM_EndToEndExperiment(benchmark::State &state)
 }
 
 void
+BM_EndToEndCallHeavy(benchmark::State &state)
+{
+    // Call-dominated pipeline: the synthetic call_heavy profile is
+    // jess-shaped but with most of the compute replaced by a deep
+    // helper chain, per-iteration recursion and six cold calls through
+    // the dispatch tree, so frames push and pop every handful of
+    // bytecodes. This is the benchmark the trace executor's inline
+    // Call/Ret path (DESIGN.md §5g) is gated on: before it, every call
+    // exited runTraceFast back to generic dispatch.
+    std::uint64_t total_bytecodes = 0;
+    for (auto _ : state) {
+        harness::ExperimentConfig cfg;
+        cfg.dataset = workloads::DatasetScale::Small;
+        cfg.heapNominalMB = 32;
+        const auto res = harness::runExperiment(
+            cfg, workloads::benchmark("call_heavy"));
+        benchmark::DoNotOptimize(res.run.returnValue);
+        total_bytecodes += res.run.bytecodesExecuted;
+        state.counters["gc_count"] =
+            static_cast<double>(res.run.gc.collections);
+        state.counters["bytecodes"] =
+            static_cast<double>(res.run.bytecodesExecuted);
+    }
+    state.counters["bytecodes_per_sec"] =
+        benchmark::Counter(static_cast<double>(total_bytecodes),
+                           benchmark::Counter::kIsRate);
+}
+
+void
 BM_EndToEndGcHeavy(benchmark::State &state)
 {
     // GC-dominated pipeline: pmd's big live set (14 MB nominal) under
@@ -204,6 +233,7 @@ BENCHMARK(BM_CpuLoadStore);
 BENCHMARK(BM_PowerUpdate);
 BENCHMARK(BM_InterpreterDispatch)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_EndToEndExperiment)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_EndToEndCallHeavy)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_EndToEndGcHeavy)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_EndToEndMutatorHeavy)->Unit(benchmark::kMillisecond);
 

@@ -78,11 +78,13 @@ fi
 echo "kill-and-resume smoke: report byte-identical," \
     "restored=$restored executed=$executed total=$total"
 
-# --- dispatch-mode gates: the same suite must hold with the batched
-# --- interpreter fast path disabled (the per-op oracle that the
-# --- differential fuzzers compare against; its goldens must match the
-# --- fast path's bit for bit), and in the portable switch-dispatch
-# --- build without computed goto.
+# --- dispatch-mode gates: the same suite — including the call-dense
+# --- differentials of tests/test_interp_diff.cc (call_heavy across all
+# --- tiers and heaps) — must hold with the batched interpreter fast
+# --- path disabled (the per-op oracle that the differential fuzzers
+# --- compare against; its goldens must match the fast path's bit for
+# --- bit), and in the portable switch-dispatch build without computed
+# --- goto.
 JAVELIN_INTERP_NO_FAST_PATH=1 ctest --test-dir build \
     --output-on-failure -j
 cmake -B build-fallback -S . \
@@ -108,20 +110,41 @@ fi
 
 cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build build-release -j --target micro_sim --target micro_gc
-./build-release/bench/micro_sim --benchmark_format=json \
-    --benchmark_min_time=1 > BENCH_sim.json
-./build-release/bench/micro_gc --benchmark_format=json \
-    --benchmark_min_time=1 > BENCH_gc.json
+# Three full passes of each suite: every gate below takes the
+# per-benchmark best of the three (compare_bench.py merges them), since
+# a loaded host can depress any single run by well over the 10 %
+# regression budget.
+for i in 1 2 3; do
+    ./build-release/bench/micro_sim --benchmark_format=json \
+        --benchmark_min_time=1 > "BENCH_sim_$i.json"
+    ./build-release/bench/micro_gc --benchmark_format=json \
+        --benchmark_min_time=1 > "BENCH_gc_$i.json"
+done
 if command -v python3 > /dev/null 2>&1; then
     # Trajectory context (non-gating): speedup over the pre-fast-path
     # simulator kept from before DESIGN.md §5c landed.
     python3 scripts/compare_bench.py bench/BENCH_sim.pre_fast_path.json \
-        BENCH_sim.json --max-regress 1.0
+        BENCH_sim_1.json BENCH_sim_2.json BENCH_sim_3.json \
+        --max-regress 1.0
     # The gates: no more than 10 % below the committed baselines.
     python3 scripts/compare_bench.py bench/BENCH_sim.baseline.json \
-        BENCH_sim.json --max-regress 0.10
+        BENCH_sim_1.json BENCH_sim_2.json BENCH_sim_3.json \
+        --max-regress 0.10
     python3 scripts/compare_bench.py bench/BENCH_gc.baseline.json \
-        BENCH_gc.json --max-regress 0.10
+        BENCH_gc_1.json BENCH_gc_2.json BENCH_gc_3.json \
+        --max-regress 0.10
+    # Tentpole perf targets (DESIGN.md §5g), over the same three runs:
+    # BM_EndToEndCallHeavy against its committed pre-trace-v2 capture
+    # and BM_EndToEndExperiment >= 50M bytecodes/s outright. The
+    # measured call-path speedup is ~1.28-1.29x (paired interleaved
+    # runs; see §5g); the gate sits at 1.15x as a regression tripwire
+    # below it, same policy as the §5f mutator gate, because the
+    # shared host cannot reproduce a point estimate run-to-run.
+    python3 scripts/compare_bench.py bench/BENCH_sim.pre_trace_v2.json \
+        BENCH_sim_1.json BENCH_sim_2.json BENCH_sim_3.json \
+        --no-default-gates \
+        --min-speedup BM_EndToEndCallHeavy.bytecodes_per_sec=1.15 \
+        --min-rate BM_EndToEndExperiment.bytecodes_per_sec=50e6
 else
     echo "ci.sh: python3 not found, skipping benchmark comparison" >&2
 fi

@@ -4,6 +4,8 @@
 #include <bit>
 #include <cstdlib>
 
+#include "jvm/op_costs.hh"
+
 namespace javelin {
 namespace jvm {
 
@@ -17,73 +19,9 @@ interpFastPathDefault()
 
 namespace {
 
-/**
- * Opcodes the execute-batching fast path may fold into one segment
- * charge (DESIGN.md §5f): straight-line register arithmetic with no
- * branches, no frame or heap traffic, no polls beyond the tail check,
- * and no failure paths. Everything else terminates a run and goes
- * through the per-op dispatch in both modes.
- */
-constexpr bool
-isFoldable(Op op)
-{
-    switch (op) {
-      case Op::Nop:
-      case Op::IConst:
-      case Op::Move:
-      case Op::IAdd:
-      case Op::ISub:
-      case Op::IMul:
-      case Op::IDiv:
-      case Op::IRem:
-      case Op::IXor:
-      case Op::FAdd:
-      case Op::FMul:
-      case Op::Rand:
-        return true;
-      default:
-        return false;
-    }
-}
-
-/**
- * Opcodes the fast path may execute inside one trace (runTraceFast)
- * without returning to the outer dispatch loop: the foldable set plus
- * every op that neither changes the frame stack nor allocates nor
- * polls mid-handler. Branches and heap accessors keep their exact
- * per-op v2 charge stream inside the trace — only the foldable runs
- * between them are folded — so the architectural events are identical
- * to per-op dispatch. Call/Ret (frame push/pop invalidates the cached
- * register views), New/NewArray (may collect or throw), NativeWork
- * (polls internally) and Halt end the trace.
- */
-constexpr bool
-isTraceable(Op op)
-{
-    switch (op) {
-      case Op::Goto:
-      case Op::IfLt:
-      case Op::IfGe:
-      case Op::IfEq:
-      case Op::IfNe:
-      case Op::IfNull:
-      case Op::IfNotNull:
-      case Op::GetField:
-      case Op::PutField:
-      case Op::GetRef:
-      case Op::PutRef:
-      case Op::GetElem:
-      case Op::PutElem:
-      case Op::GetRefElem:
-      case Op::PutRefElem:
-      case Op::ArrayLen:
-      case Op::GetStatic:
-      case Op::PutStatic:
-        return true;
-      default:
-        return isFoldable(op);
-    }
-}
+using op_costs::isFoldable;
+using op_costs::isTraceable;
+using op_costs::kBaseUops;
 
 /**
  * Opcode list in enum order, used to build the threaded-dispatch label
@@ -128,51 +66,6 @@ wrapDiv(std::int64_t a, std::int64_t b)
     return a / b;
 }
 
-/**
- * Semantic micro-ops per opcode before the tier transform — exactly
- * the literals the original switch passed to semUops(). Zero means the
- * handler issues no semantic execute() at all (Nop, Goto, NativeWork,
- * Halt and NumOps); those entries are never read.
- */
-constexpr std::uint8_t kBaseUops[kNumOps] = {
-    0, // Nop
-    1, // IConst
-    1, // Move
-    1, // IAdd
-    1, // ISub
-    2, // IMul
-    8, // IDiv
-    8, // IRem
-    1, // IXor
-    3, // FAdd
-    4, // FMul
-    5, // Rand
-    0, // Goto
-    1, // IfLt
-    1, // IfGe
-    1, // IfEq
-    1, // IfNe
-    1, // IfNull
-    1, // IfNotNull
-    4, // Call
-    2, // Ret
-    3, // New
-    4, // NewArray
-    2, // GetField
-    2, // PutField
-    2, // GetRef
-    2, // PutRef
-    2, // GetElem
-    2, // PutElem
-    2, // GetRefElem
-    2, // PutRefElem
-    1, // ArrayLen
-    1, // GetStatic
-    1, // PutStatic
-    0, // NativeWork
-    0, // Halt
-};
-
 } // namespace
 
 Interpreter::Interpreter(sim::System &system, core::ComponentPort &port,
@@ -190,30 +83,28 @@ Interpreter::Interpreter(sim::System &system, core::ComponentPort &port,
     JAVELIN_ASSERT(methodRt_.size() == program_.methods.size(),
                    "method runtime table size mismatch");
     frames_.reserve(config_.maxStackDepth);
-    intRegs_.reserve(4096);
-    refRegs_.reserve(2048);
-    buildTierCosts();
-    buildRunTable();
-}
-
-void
-Interpreter::buildRunTable()
-{
-    runLen_.resize(program_.methods.size());
-    for (std::size_t id = 0; id < program_.methods.size(); ++id) {
-        const Code &code = program_.methods[id].code;
-        auto &rl = runLen_[id];
-        rl.assign(code.size(), 0);
-        std::uint32_t run = 0;
-        for (std::size_t i = code.size(); i-- > 0;) {
-            if (isFoldable(code[i].op)) {
-                run = std::min<std::uint32_t>(run + 1, 0xFFFF);
-                rl[i] = static_cast<std::uint16_t>(run);
-            } else {
-                run = 0;
-            }
-        }
+    // The per-method superinstruction tables (run lengths, micro-op and
+    // FP-stall prefix sums) are built once by Program::layout() and
+    // shared by every engine instance (DESIGN.md §5g).
+    std::uint32_t max_int = 0;
+    std::uint32_t max_ref = 0;
+    for (const auto &m : program_.methods) {
+        JAVELIN_ASSERT(m.runLen.size() == m.code.size() &&
+                           m.fpStallHalfPrefix.size() ==
+                               m.code.size() + 1,
+                       "Program::layout() not run before execution of ",
+                       m.name);
+        max_int = std::max<std::uint32_t>(max_int, m.nIntRegs);
+        max_ref = std::max<std::uint32_t>(max_ref, m.nRefRegs);
     }
+    // Worst-case pool sizes: storage allocated once and never moved
+    // (see the member comment).
+    intRegs_.assign(
+        static_cast<std::size_t>(config_.maxStackDepth) * max_int, 0);
+    refRegs_.assign(
+        static_cast<std::size_t>(config_.maxStackDepth) * max_ref,
+        kNull);
+    buildTierCosts();
 }
 
 void
@@ -246,17 +137,11 @@ Interpreter::buildTierCosts()
         // the modulo becomes a mask and the counter behaves the same.
         tc.spillMask = tier == Tier::Optimized ? 3u : 0u;
         for (std::size_t op = 0; op < kNumOps; ++op) {
-            const std::uint32_t u = kBaseUops[op];
-            std::uint32_t v = u; // Interpreted/Baseline run it straight
-            // Zero-base opcodes issue no semantic execute at all; keep
-            // their table entries 0 so the segment summation can add
-            // tc.uops[op] unconditionally.
-            if (u == 0)
-                v = 0;
-            else if (tier == Tier::Optimized)
-                v = std::max<std::uint32_t>(1, (u * 7) >> 3);
-            else if (tier == Tier::Jitted)
-                v = u + (u >> 2); // naive code: ~25% more micro-ops
+            // The shared transform keeps these tables and the prefix
+            // sums Program::layout() caches in lockstep by
+            // construction (op_costs.hh).
+            const std::uint32_t v =
+                op_costs::tierSemUops(tier, kBaseUops[op]);
             tc.uops[op] = static_cast<std::uint8_t>(v);
             tc.opExecUops[op] =
                 static_cast<std::uint8_t>(tc.dispatchUops + v);
@@ -278,8 +163,10 @@ Interpreter::currentMethod() const
 void
 Interpreter::forEachStackRoot(const std::function<void(Address &)> &fn)
 {
-    for (Address &ref : refRegs_)
-        fn(ref);
+    // Only the live prefix holds roots; slots above the top are stale
+    // windows of popped frames.
+    for (std::uint32_t i = 0; i < refTop_; ++i)
+        fn(refRegs_[i]);
 }
 
 void
@@ -311,13 +198,18 @@ Interpreter::pushFrame(MethodId id, const Frame *caller,
     Frame f;
     f.method = &m;
     f.rt = &methodRt_[id];
-    f.runLen = runLen_[id].data();
+    f.runLen = m.runLen.data();
     f.pc = 0;
-    f.intBase = static_cast<std::uint32_t>(intRegs_.size());
-    f.refBase = static_cast<std::uint32_t>(refRegs_.size());
+    f.intBase = intTop_;
+    f.refBase = refTop_;
     f.retDst = ret_dst;
-    intRegs_.resize(intRegs_.size() + m.nIntRegs, 0);
-    refRegs_.resize(refRegs_.size() + m.nRefRegs, kNull);
+    // Fresh window: zero-fill in place (the pools are pre-sized for
+    // the deepest possible stack, so the top can never pass the end).
+    std::fill_n(intRegs_.data() + intTop_, m.nIntRegs,
+                std::int64_t{0});
+    std::fill_n(refRegs_.data() + refTop_, m.nRefRegs, kNull);
+    intTop_ += m.nIntRegs;
+    refTop_ += m.nRefRegs;
 
     if (caller) {
         for (std::uint32_t i = 0; i < m.nIntArgs; ++i)
@@ -338,10 +230,10 @@ Interpreter::pushFrame(MethodId id, const Frame *caller,
 void
 Interpreter::popFrame(std::int64_t value)
 {
-    const Frame f = frames_.back();
+    const std::int32_t ret_dst = frames_.back().retDst;
+    intTop_ = frames_.back().intBase;
+    refTop_ = frames_.back().refBase;
     frames_.pop_back();
-    intRegs_.resize(f.intBase);
-    refRegs_.resize(f.refBase);
 
     sim::CpuModel &cpu = system_.cpu();
     cpu.execute(4, kVmCodeBase + 0x1e400, 16);
@@ -349,9 +241,9 @@ Interpreter::popFrame(std::int64_t value)
 
     if (frames_.empty()) {
         result_ = value;
-    } else if (f.retDst >= 0) {
+    } else if (ret_dst >= 0) {
         const Frame &caller = frames_.back();
-        intRegs_[caller.intBase + f.retDst] = value;
+        intRegs_[caller.intBase + ret_dst] = value;
     }
 }
 
@@ -454,22 +346,16 @@ Interpreter::sumSegmentUops(const Frame &f, const TierCost &tc,
                             std::uint32_t pc0, std::uint32_t n,
                             double *stall_cycles) const
 {
-    const Instruction *code = f.method->code.data() + pc0;
-    std::uint32_t uops = n * tc.dispatchUops;
-    // FP stalls are multiples of 0.5, so this sum is exact in binary
-    // and independent of accumulation grouping — the fast path's fused
-    // loop produces bit-identical values.
-    double stall = 0.0;
-    for (std::uint32_t j = 0; j < n; ++j) {
-        const Op op = code[j].op;
-        uops += tc.uops[static_cast<unsigned>(op)];
-        if (op == Op::FAdd)
-            stall += 2.5;
-        else if (op == Op::FMul)
-            stall += 3.5;
-    }
-    *stall_cycles = stall;
-    return uops;
+    // Two prefix-sum lookups replace the per-op walk (DESIGN.md §5g).
+    // FP stalls are multiples of 0.5, so the half-cycle prefix
+    // difference scaled by 0.5 is bit-identical to summing 2.5/3.5
+    // per op in any order.
+    const MethodInfo &m = *f.method;
+    const auto &pref =
+        m.semUopPrefix[static_cast<unsigned>(f.rt->tier)];
+    *stall_cycles = 0.5 * (m.fpStallHalfPrefix[pc0 + n] -
+                           m.fpStallHalfPrefix[pc0]);
+    return n * tc.dispatchUops + (pref[pc0 + n] - pref[pc0]);
 }
 
 void
@@ -483,15 +369,18 @@ Interpreter::emitSegmentCharges(sim::CpuModel &cpu, const Frame &f,
         // micro-ops; the run's handler code is charged as a single
         // resident 48-byte fetch span at the first handler (precedent:
         // the GC copy loop's fixed kCopyCodeBytes span). The operand
-        // fetches stay per-bytecode through the block accessor.
+        // fetches stay per-bytecode, threaded through the one-line
+        // bytecode stream buffer: only a word in a fresh D-line
+        // reaches the cache (DESIGN.md §5g).
         cpu.execute(uops,
                     kInterpreterCodeBase +
                         static_cast<Address>(f.method->code[pc0].op) *
                             128,
                     48);
-        cpu.loadBlock(f.method->bytecodeAddr +
-                          static_cast<Address>(pc0) * sizeof(Instruction),
-                      n, sizeof(Instruction));
+        cpu.loadBufferedBlock(
+            f.method->bytecodeAddr +
+                static_cast<Address>(pc0) * sizeof(Instruction),
+            n, sizeof(Instruction), bcFetchLine_);
     } else {
         // Compiled tiers: the run's emitted code is contiguous — one
         // execute spanning it touches exactly the lines the per-op
@@ -524,15 +413,13 @@ Interpreter::runSegmentFast(sim::CpuModel &cpu, Frame &f,
 {
     const Instruction *code = f.method->code.data() + pc0;
     std::int64_t *ir = intRegs_.data() + f.intBase;
-    std::uint32_t uops = n * tc.dispatchUops;
+    // The segment's charge sums come from the program's precomputed
+    // prefix tables (sumSegmentUops), so this loop is pure semantics;
+    // host-side register writes are invisible to the cost model.
     double stall = 0.0;
-    // One pass fuses the semantics with the charge summation; the
-    // emission below is the same shared sequence the oracle issues, and
-    // host-side register writes are invisible to the cost model, so
-    // computing sums alongside execution changes nothing architectural.
+    const std::uint32_t uops = sumSegmentUops(f, tc, pc0, n, &stall);
     for (std::uint32_t j = 0; j < n; ++j) {
         const Instruction &in = code[j];
-        uops += tc.uops[static_cast<unsigned>(in.op)];
         switch (in.op) {
           case Op::Nop:
             break;
@@ -564,11 +451,9 @@ Interpreter::runSegmentFast(sim::CpuModel &cpu, Frame &f,
             ir[in.a] = ir[in.b] ^ ir[in.c];
             break;
           case Op::FAdd:
-            stall += 2.5;
             ir[in.a] = ir[in.b] + ir[in.c];
             break;
           case Op::FMul:
-            stall += 3.5;
             ir[in.a] = ir[in.b] * ir[in.c];
             break;
           case Op::Rand: {
@@ -589,9 +474,9 @@ Interpreter::runSegmentFast(sim::CpuModel &cpu, Frame &f,
 
 /**
  * Fast-path trace executor: runs from the current pc until the next
- * non-traceable op (Call/Ret/New/NewArray/NativeWork/Halt), folding
- * maximal runs of foldable bytecodes into segment charges
- * (runSegmentFast) and executing branches and heap accessors inline
+ * non-traceable op (NativeWork/Halt), folding maximal runs of
+ * foldable bytecodes into segment charges (runSegmentFast) and
+ * executing branches, heap accessors, allocations and Call/Ret inline
  * with their exact per-op v2 charge stream — the same handler bodies
  * as the oracle, included from interpreter_ops.inc below, preceded by
  * the same dispatch/operand/spill charges the per-op front end emits.
@@ -600,10 +485,19 @@ Interpreter::runSegmentFast(sim::CpuModel &cpu, Frame &f,
  * and the tier cost table is re-read after every quantum since the
  * optimizing compiler may have retiered the method.
  *
- * Nothing in a trace can resize the frame stack or the register
- * pools: a collection triggered by a periodic task cannot happen (GC
- * only runs from allocation, which ends the trace), so the ir/rr
- * views hoisted here stay valid throughout.
+ * Within a trace, only Call/Ret can resize the frame stack or the
+ * register pools, and they jump to the frame-refresh tail below,
+ * which re-hoists every cached view after the frame change — in
+ * exactly the order the outer dispatch loop observes (handler, then
+ * tail checks, then refetch), so a poll's adaptive sample and a
+ * quantum's retier see the same frame stack in both modes (DESIGN.md
+ * §5g). New/NewArray run inline too: a collection they trigger
+ * rewrites root values strictly in place (forEachStackRoot) and never
+ * pushes frames or resizes the register pools, so the hoisted code,
+ * ir and rr pointers all stay valid across it. A StackOverflowError
+ * from an inline Call, or an OutOfMemoryError from an inline
+ * allocation, propagates with the same charges emitted as per-op
+ * dispatch.
  */
 void
 Interpreter::runTraceFast(sim::CpuModel &cpu,
@@ -620,91 +514,116 @@ Interpreter::runTraceFast(sim::CpuModel &cpu,
     std::uint32_t next = 0;
 
     for (;;) {
-        JAVELIN_ASSERT(f->pc < f->method->code.size(),
-                       "pc fell off method ", f->method->name);
-        const std::uint32_t run = f->runLen[f->pc];
-        double fpStall = 0.0;
-        if (run != 0) {
-            const std::uint32_t n = std::min(
-                run, std::min(pollCountdown, quantumCountdown));
-            if (n > 1) {
-                runSegmentFast(cpu, *f, *tc, f->pc, n);
-                f->pc += n;
-                pollCountdown -= n;
-                if (pollCountdown == 0) {
-                    pollCountdown = config_.pollInterval;
-                    system_.poll();
+        {
+            JAVELIN_ASSERT(f->pc < f->method->code.size(),
+                           "pc fell off method ", f->method->name);
+            const std::uint32_t run = f->runLen[f->pc];
+            double fpStall = 0.0;
+            if (run != 0) {
+                const std::uint32_t n = std::min(
+                    run, std::min(pollCountdown, quantumCountdown));
+                if (n > 1) {
+                    runSegmentFast(cpu, *f, *tc, f->pc, n);
+                    f->pc += n;
+                    pollCountdown -= n;
+                    if (pollCountdown == 0) {
+                        pollCountdown = config_.pollInterval;
+                        system_.poll();
+                    }
+                    quantumCountdown -= n;
+                    if (quantumCountdown == 0) {
+                        quantumCountdown = config_.quantumBytecodes;
+                        if (onQuantum)
+                            onQuantum();
+                        tc = &tierCosts_[static_cast<unsigned>(
+                            rt->tier)];
+                    }
+                    continue;
                 }
-                quantumCountdown -= n;
-                if (quantumCountdown == 0) {
-                    quantumCountdown = config_.quantumBytecodes;
-                    if (onQuantum)
-                        onQuantum();
-                    tc = &tierCosts_[static_cast<unsigned>(rt->tier)];
-                }
-                continue;
+                // A segment clamped to one bytecode folds to exactly
+                // the per-op charge stream below — opExecUops is
+                // dispatch + semantic micro-ops, a one-element operand
+                // block is one load, the spill gate advances
+                // identically — plus the trailing FP stall, so skip
+                // the segment call machinery (most static runs are
+                // short; this is the hottest case).
+                const Op op0 = code[f->pc].op;
+                fpStall = op0 == Op::FAdd ? 2.5
+                          : op0 == Op::FMul ? 3.5
+                                            : 0.0;
             }
-            // A segment clamped to one bytecode folds to exactly the
-            // per-op charge stream below — opExecUops is dispatch +
-            // semantic micro-ops, a one-element operand block is one
-            // load, the spill gate advances identically — plus the
-            // trailing FP stall, so skip the segment call machinery
-            // (most static runs are short; this is the hottest case).
-            const Op op0 = code[f->pc].op;
-            fpStall = op0 == Op::FAdd ? 2.5
-                      : op0 == Op::FMul ? 3.5
-                                        : 0.0;
-        }
 
-        in = &code[f->pc];
-        if (!isTraceable(in->op))
-            return;
+            in = &code[f->pc];
+            if (!isTraceable(in->op))
+                return;
 
-        // The per-op front-end charges, verbatim from
-        // JAVELIN_FETCH_CHARGE: folded dispatch+semantic execute (plus
-        // the bytecode operand fetch when interpreted) and the gated
-        // spill load.
-        if (rt->tier == Tier::Interpreted) {
-            cpu.execute(tc->opExecUops[static_cast<unsigned>(in->op)],
-                        kInterpreterCodeBase +
-                            static_cast<Address>(in->op) * 128,
-                        48);
-            cpu.load(f->method->bytecodeAddr +
-                     f->pc * sizeof(Instruction));
-        } else {
-            cpu.execute(tc->opExecUops[static_cast<unsigned>(in->op)],
-                        rt->codeAddr + f->pc * tc->bytesPerBc,
-                        tc->bytesPerBc);
-        }
-        if (((++spillCounter_) & tc->spillMask) == 0)
-            cpu.load(kStackBase + frames_.size() * 256 +
-                     ((f->pc * 8) & 0xf8));
-        if (fpStall != 0.0)
-            cpu.stall(fpStall);
-        ++executed_;
-        next = f->pc + 1;
+            // The per-op front-end charges, verbatim from
+            // JAVELIN_FETCH_CHARGE: folded dispatch+semantic execute
+            // (plus the bytecode operand fetch when interpreted) and
+            // the gated spill load.
+            if (rt->tier == Tier::Interpreted) {
+                cpu.execute(
+                    tc->opExecUops[static_cast<unsigned>(in->op)],
+                    kInterpreterCodeBase +
+                        static_cast<Address>(in->op) * 128,
+                    48);
+                cpu.loadBuffered(f->method->bytecodeAddr +
+                                     f->pc * sizeof(Instruction),
+                                 bcFetchLine_);
+            } else {
+                cpu.execute(
+                    tc->opExecUops[static_cast<unsigned>(in->op)],
+                    rt->codeAddr + f->pc * tc->bytesPerBc,
+                    tc->bytesPerBc);
+            }
+            if (((++spillCounter_) & tc->spillMask) == 0)
+                cpu.load(kStackBase + frames_.size() * 256 +
+                         ((f->pc * 8) & 0xf8));
+            if (fpStall != 0.0)
+                cpu.stall(fpStall);
+            ++executed_;
+            next = f->pc + 1;
 
-        // The shared handler bodies. Non-traceable cases compile here
-        // but never execute (the guard above returned); foldable cases
-        // never execute either (run != 0 took the segment path).
-        switch (in->op) {
+            // The shared handler bodies. Non-traceable cases compile
+            // here but never execute (the guard above returned);
+            // foldable cases never execute either (run != 0 took the
+            // segment path). Call/Ret jump to the frame-refresh tail.
+            switch (in->op) {
 #define JAVELIN_OP(name) case Op::name: {
 #define JAVELIN_OP_END \
     } \
     break;
 #define JAVELIN_OP_END_FRAME \
-        JAVELIN_PANIC("frame-changing op executed inside a trace"); \
     } \
-    break;
+    goto javelin_trace_frame_changed;
 #include "jvm/interpreter_ops.inc"
 #undef JAVELIN_OP_END_FRAME
 #undef JAVELIN_OP_END
 #undef JAVELIN_OP
-        }
-        f->pc = next;
+            }
+            f->pc = next;
 
-        // JAVELIN_TAIL_CHECKS, with the quantum's possible retiering
-        // folded in.
+            // JAVELIN_TAIL_CHECKS, with the quantum's possible
+            // retiering folded in.
+            if (--pollCountdown == 0) {
+                pollCountdown = config_.pollInterval;
+                system_.poll();
+            }
+            if (--quantumCountdown == 0) {
+                quantumCountdown = config_.quantumBytecodes;
+                if (onQuantum)
+                    onQuantum();
+                tc = &tierCosts_[static_cast<unsigned>(rt->tier)];
+            }
+            continue;
+        }
+
+    javelin_trace_frame_changed:
+        // A Call pushed (after saving the resume pc) or a Ret popped
+        // the current frame. Tail checks run first — the outer loop
+        // also polls after the frame change — then every hoisted view
+        // is refreshed from the new top frame. The final Ret leaves
+        // the stack empty; dispatch ends the run.
         if (--pollCountdown == 0) {
             pollCountdown = config_.pollInterval;
             system_.poll();
@@ -713,8 +632,15 @@ Interpreter::runTraceFast(sim::CpuModel &cpu,
             quantumCountdown = config_.quantumBytecodes;
             if (onQuantum)
                 onQuantum();
-            tc = &tierCosts_[static_cast<unsigned>(rt->tier)];
         }
+        if (frames_.empty())
+            return;
+        f = &frames_.back();
+        rt = f->rt;
+        tc = &tierCosts_[static_cast<unsigned>(rt->tier)];
+        code = f->method->code.data();
+        ir = intRegs_.data() + f->intBase;
+        rr = refRegs_.data() + f->refBase;
     }
 }
 
@@ -730,6 +656,23 @@ Interpreter::runTraceFast(sim::CpuModel &cpu,
 #endif
 
 /**
+ * Fast-path trace gate, run before each dispatch's liveness check: if
+ * the pending op is traceable, the whole trace — folded segments plus
+ * inline branches, heap accessors and Call/Ret — runs in
+ * runTraceFast's host loop, and dispatch resumes at the first
+ * non-traceable op (or with the stack empty after the final Ret, which
+ * is why this must precede the frames_.empty() test: the per-bytecode
+ * front end below may not touch frames_.back() afterwards).
+ */
+#define JAVELIN_MAYBE_TRACE() \
+    do { \
+        if (config_.fastPath && !frames_.empty() && !halted_ && \
+            isTraceable( \
+                frames_.back().method->code[frames_.back().pc].op)) \
+            runTraceFast(cpu, pollCountdown, quantumCountdown); \
+    } while (0)
+
+/**
  * Per-bytecode front end, identical for both dispatch modes.
  *
  * A foldable bytecode always sits at the head of a segment of
@@ -738,10 +681,9 @@ Interpreter::runTraceFast(sim::CpuModel &cpu,
  * emitSegmentCharges (DESIGN.md §5f) — the clamping means polls and
  * quantum callbacks can only come due at a segment boundary, so the
  * poll tick schedule is bit-identical to per-op execution. On the fast
- * path the whole trace — folded segments plus inline branches and
- * heap accessors — runs in runTraceFast's host loop and dispatch
- * resumes at the first non-traceable op; in oracle mode
- * (JAVELIN_INTERP_NO_FAST_PATH=1) the threaded dispatch executes the
+ * path JAVELIN_MAYBE_TRACE already ran everything traceable, so the
+ * pending op takes the per-op path below; in oracle mode
+ * (JAVELIN_INTERP_NO_FAST_PATH=1) the threaded dispatch executes each
  * segment per-op with the already-paid charges suppressed
  * (segPrepaid_). Non-foldable ops keep the historical per-op charge
  * sequence: dispatch execute (plus the bytecode operand fetch when
@@ -754,13 +696,7 @@ Interpreter::runTraceFast(sim::CpuModel &cpu,
                        "pc fell off method ", f->method->name); \
         rt = f->rt; \
         tc = &tierCosts_[static_cast<unsigned>(rt->tier)]; \
-        if (config_.fastPath) { \
-            if (isTraceable(f->method->code[f->pc].op)) { \
-                runTraceFast(cpu, pollCountdown, quantumCountdown); \
-                rt = f->rt; \
-                tc = &tierCosts_[static_cast<unsigned>(rt->tier)]; \
-            } \
-        } else { \
+        if (!config_.fastPath) { \
             const std::uint32_t run_ = f->runLen[f->pc]; \
             if (run_ != 0 && segPrepaid_ == 0) { \
                 const std::uint32_t n_ = std::min( \
@@ -783,8 +719,9 @@ Interpreter::runTraceFast(sim::CpuModel &cpu,
                     kInterpreterCodeBase + \
                         static_cast<Address>(in->op) * 128, \
                     48); \
-                cpu.load(f->method->bytecodeAddr + \
-                         f->pc * sizeof(Instruction)); \
+                cpu.loadBuffered(f->method->bytecodeAddr + \
+                                     f->pc * sizeof(Instruction), \
+                                 bcFetchLine_); \
             } else { \
                 cpu.execute( \
                     tc->opExecUops[static_cast<unsigned>(in->op)], \
@@ -822,6 +759,7 @@ Interpreter::run(MethodId entry)
     halted_ = false;
     result_ = 0;
     segPrepaid_ = 0;
+    bcFetchLine_ = ~Address{0};
     pushFrame(entry, nullptr, -1, 0, 0);
 
     sim::CpuModel &cpu = system_.cpu();
@@ -848,15 +786,16 @@ Interpreter::run(MethodId entry)
 
 #define JAVELIN_DISPATCH_NEXT() \
     do { \
+        JAVELIN_MAYBE_TRACE(); \
         if (frames_.empty() || halted_) \
             goto javelin_run_done; \
         JAVELIN_FETCH_CHARGE(); \
         goto *kLabels[static_cast<unsigned>(in->op)]; \
     } while (0)
 
-    // Entry: frames_ is non-empty and halted_ false after pushFrame.
-    JAVELIN_FETCH_CHARGE();
-    goto *kLabels[static_cast<unsigned>(in->op)];
+    // Entry: frames_ is non-empty and halted_ false after pushFrame
+    // (the trace gate may drain the whole program right here).
+    JAVELIN_DISPATCH_NEXT();
 
 #define JAVELIN_OP(name) javelin_op_##name: {
 #define JAVELIN_OP_END \
@@ -880,7 +819,10 @@ javelin_run_done:;
 
 #else // !JAVELIN_THREADED_DISPATCH
 
-    while (!frames_.empty() && !halted_) {
+    for (;;) {
+        JAVELIN_MAYBE_TRACE();
+        if (frames_.empty() || halted_)
+            break;
         JAVELIN_FETCH_CHARGE();
         switch (in->op) {
 #define JAVELIN_OP(name) case Op::name: {
@@ -904,13 +846,14 @@ javelin_run_done:;
 #endif // JAVELIN_THREADED_DISPATCH
 
     frames_.clear();
-    intRegs_.clear();
-    refRegs_.clear();
+    intTop_ = 0;
+    refTop_ = 0;
     return result_;
 }
 
 #undef JAVELIN_TAIL_CHECKS
 #undef JAVELIN_FETCH_CHARGE
+#undef JAVELIN_MAYBE_TRACE
 #undef JAVELIN_FOR_EACH_OP
 
 } // namespace jvm

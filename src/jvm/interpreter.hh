@@ -122,7 +122,8 @@ class Interpreter
     {
         const MethodInfo *method;
         MethodRuntime *rt;
-        /** Per-pc foldable-run lengths of method (see buildRunTable). */
+        /** Per-pc foldable-run lengths of method (built once by
+         *  Program::layout() — MethodInfo::runLen). */
         const std::uint16_t *runLen;
         std::uint32_t pc;
         std::uint32_t intBase;
@@ -159,7 +160,6 @@ class Interpreter
     void popFrame(std::int64_t value);
     void prepareMethod(MethodId id);
     void buildTierCosts();
-    void buildRunTable();
 
     /**
      * Emit the folded v3 charge stream for the segment of n foldable
@@ -242,12 +242,16 @@ class Interpreter
     bool elidePow2_ = true;
 
     std::vector<Frame> frames_;
+    /** Register pools, sized once (maxStackDepth * widest method) so
+     *  the storage never moves: a frame push zero-fills its window and
+     *  bumps the top, a pop drops the top back — no per-call vector
+     *  resize, and every pointer the trace executor hoists stays valid
+     *  for the life of the run. Only [0, intTop_) / [0, refTop_) are
+     *  live; forEachStackRoot must never walk past the top. */
     std::vector<std::int64_t> intRegs_;
     std::vector<Address> refRegs_;
-
-    /** Per-method, per-pc length of the maximal foldable run starting
-     *  there (0 = the op is not foldable); built at construction. */
-    std::vector<std::vector<std::uint16_t>> runLen_;
+    std::uint32_t intTop_ = 0;
+    std::uint32_t refTop_ = 0;
 
     bool needsBarrier_;
     std::uint64_t executed_ = 0;
@@ -257,6 +261,13 @@ class Interpreter
     /** Oracle mode: bytecodes of the current segment whose charges
      *  were already emitted by emitSegmentCharges. */
     std::uint32_t segPrepaid_ = 0;
+    /** One-line bytecode-operand stream buffer (D-side analogue of
+     *  the i-fetch buffer, DESIGN.md §5g): the last operand D-line
+     *  the interpreted tier fetched. Threaded through every operand
+     *  fetch — per-op and folded, fast path and oracle — in bytecode
+     *  order, so both dispatch modes evolve it identically. ~0 means
+     *  empty; reset at the top of run(). */
+    Address bcFetchLine_ = ~Address{0};
     std::uint64_t nativeCursor_ = 0;
     std::int64_t result_ = 0;
     bool halted_ = false;

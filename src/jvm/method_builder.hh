@@ -96,6 +96,20 @@ class MethodBuilder
         }
     }
 
+    /**
+     * Emit `dst = callee(...)`: the callee's integer arguments are
+     * taken from this frame's registers [int_arg_base, ...), reference
+     * arguments from [ref_arg_base, ...). Typed wrapper over the raw
+     * Call encoding (MethodId lands in the b operand).
+     */
+    std::uint32_t
+    call(std::int32_t dst, MethodId callee, std::int32_t int_arg_base = 0,
+         std::int32_t ref_arg_base = 0)
+    {
+        return emit(Op::Call, dst, static_cast<std::int32_t>(callee),
+                    int_arg_base, ref_arg_base);
+    }
+
     /** Convenience: load an immediate into a fresh register. */
     std::int32_t
     constant(std::int64_t value)

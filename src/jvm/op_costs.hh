@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Shared static cost metadata of the bytecode set: the per-opcode base
+ * micro-op table, the foldable/traceable opcode classes and the
+ * per-tier micro-op transform. Both the interpreter (per-op cost
+ * tables, trace guards) and Program::layout() (the method-granular
+ * superinstruction tables, DESIGN.md §5g) derive from these, so the
+ * pre-folded prefix sums cached on the program are by construction the
+ * same numbers the engine's per-op oracle charges.
+ */
+
+#ifndef JAVELIN_JVM_OP_COSTS_HH
+#define JAVELIN_JVM_OP_COSTS_HH
+
+#include <algorithm>
+#include <cstdint>
+
+#include "jvm/bytecode.hh"
+#include "jvm/compilers.hh"
+
+namespace javelin {
+namespace jvm {
+namespace op_costs {
+
+/**
+ * Opcodes the execute-batching fast path may fold into one segment
+ * charge (DESIGN.md §5f): straight-line register arithmetic with no
+ * branches, no frame or heap traffic, no polls beyond the tail check,
+ * and no failure paths. Everything else terminates a run and goes
+ * through the per-op dispatch in both modes.
+ */
+constexpr bool
+isFoldable(Op op)
+{
+    switch (op) {
+      case Op::Nop:
+      case Op::IConst:
+      case Op::Move:
+      case Op::IAdd:
+      case Op::ISub:
+      case Op::IMul:
+      case Op::IDiv:
+      case Op::IRem:
+      case Op::IXor:
+      case Op::FAdd:
+      case Op::FMul:
+      case Op::Rand:
+        return true;
+      default:
+        return false;
+    }
+}
+
+/**
+ * Opcodes the fast path may execute inside one trace (runTraceFast)
+ * without returning to the outer dispatch loop: the foldable set plus
+ * every op that never invalidates the trace's cached frame and
+ * register views mid-handler without announcing it. Branches and heap
+ * accessors keep their exact per-op v2 charge stream inside the trace
+ * — only the foldable runs between them are folded — and Call/Ret run
+ * inline with their exact push/pop charges, the trace refreshing its
+ * cached views afterwards (DESIGN.md §5g). New/NewArray also run
+ * inline: a collection they trigger updates root *values* in place
+ * and never resizes the frame stack or register pools, so every
+ * cached pointer stays valid (allocation-heavy loops would otherwise
+ * bounce off the trace on every object). NativeWork (polls
+ * mid-handler, and a poll's sample must see the outer loop's hoisted
+ * state) and Halt end the trace.
+ */
+constexpr bool
+isTraceable(Op op)
+{
+    switch (op) {
+      case Op::Goto:
+      case Op::IfLt:
+      case Op::IfGe:
+      case Op::IfEq:
+      case Op::IfNe:
+      case Op::IfNull:
+      case Op::IfNotNull:
+      case Op::Call:
+      case Op::Ret:
+      case Op::GetField:
+      case Op::PutField:
+      case Op::GetRef:
+      case Op::PutRef:
+      case Op::GetElem:
+      case Op::PutElem:
+      case Op::GetRefElem:
+      case Op::PutRefElem:
+      case Op::ArrayLen:
+      case Op::GetStatic:
+      case Op::PutStatic:
+      case Op::New:
+      case Op::NewArray:
+        return true;
+      default:
+        return isFoldable(op);
+    }
+}
+
+/**
+ * Semantic micro-ops per opcode before the tier transform — exactly
+ * the literals the original switch passed to semUops(). Zero means the
+ * handler issues no semantic execute() at all (Nop, Goto, NativeWork,
+ * Halt and NumOps); those entries are never read.
+ */
+constexpr std::uint8_t kBaseUops[kNumOps] = {
+    0, // Nop
+    1, // IConst
+    1, // Move
+    1, // IAdd
+    1, // ISub
+    2, // IMul
+    8, // IDiv
+    8, // IRem
+    1, // IXor
+    3, // FAdd
+    4, // FMul
+    5, // Rand
+    0, // Goto
+    1, // IfLt
+    1, // IfGe
+    1, // IfEq
+    1, // IfNe
+    1, // IfNull
+    1, // IfNotNull
+    4, // Call
+    2, // Ret
+    3, // New
+    4, // NewArray
+    2, // GetField
+    2, // PutField
+    2, // GetRef
+    2, // PutRef
+    2, // GetElem
+    2, // PutElem
+    2, // GetRefElem
+    2, // PutRefElem
+    1, // ArrayLen
+    1, // GetStatic
+    1, // PutStatic
+    0, // NativeWork
+    0, // Halt
+};
+
+/**
+ * The tier transform over a base micro-op count: optimized code runs
+ * ~7/8 of the micro-ops (never below one), jitted (Kaffe) code ~25%
+ * more; zero-base opcodes issue no semantic execute under any tier.
+ * Identical to the per-op tables Interpreter::buildTierCosts builds,
+ * which static_assert against this function.
+ */
+constexpr std::uint32_t
+tierSemUops(Tier tier, std::uint32_t base_uops)
+{
+    if (base_uops == 0)
+        return 0;
+    if (tier == Tier::Optimized)
+        return std::max<std::uint32_t>(1, (base_uops * 7) >> 3);
+    if (tier == Tier::Jitted)
+        return base_uops + (base_uops >> 2);
+    return base_uops;
+}
+
+/** FP result-latency stall of one opcode, in half-cycles (FAdd 2.5,
+ *  FMul 3.5 cycles; everything else none). Kept in halves so prefix
+ *  sums over a method are exact integers (DESIGN.md §5g). */
+constexpr std::uint32_t
+fpStallHalfCycles(Op op)
+{
+    if (op == Op::FAdd)
+        return 5;
+    if (op == Op::FMul)
+        return 7;
+    return 0;
+}
+
+} // namespace op_costs
+} // namespace jvm
+} // namespace javelin
+
+#endif // JAVELIN_JVM_OP_COSTS_HH

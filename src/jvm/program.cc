@@ -1,11 +1,59 @@
 #include "jvm/program.hh"
 
+#include <algorithm>
 #include <sstream>
 
+#include "jvm/op_costs.hh"
 #include "util/logging.hh"
 
 namespace javelin {
 namespace jvm {
+
+namespace {
+
+/**
+ * Build one method's superinstruction tables (DESIGN.md §5g): the
+ * per-pc maximal foldable-run lengths (backward scan) and the prefix
+ * sums the segment front end charges from — per-tier semantic
+ * micro-ops and FP stall half-cycles. Done once per program instead of
+ * once per Interpreter construction, so short runs (benchmark suites,
+ * sweeps) stop paying an O(code) rebuild per VM instance.
+ */
+void
+buildFoldTables(MethodInfo &m)
+{
+    const std::size_t len = m.code.size();
+    m.runLen.assign(len, 0);
+    std::uint32_t run = 0;
+    for (std::size_t i = len; i-- > 0;) {
+        if (op_costs::isFoldable(m.code[i].op)) {
+            run = std::min<std::uint32_t>(run + 1, 0xFFFF);
+            m.runLen[i] = static_cast<std::uint16_t>(run);
+        } else {
+            run = 0;
+        }
+    }
+
+    m.fpStallHalfPrefix.assign(len + 1, 0);
+    for (std::size_t i = 0; i < len; ++i)
+        m.fpStallHalfPrefix[i + 1] =
+            m.fpStallHalfPrefix[i] +
+            op_costs::fpStallHalfCycles(m.code[i].op);
+
+    for (unsigned t = 0; t < 4; ++t) {
+        auto &pref = m.semUopPrefix[t];
+        pref.assign(len + 1, 0);
+        for (std::size_t i = 0; i < len; ++i)
+            pref[i + 1] =
+                pref[i] +
+                op_costs::tierSemUops(
+                    static_cast<Tier>(t),
+                    op_costs::kBaseUops[static_cast<unsigned>(
+                        m.code[i].op)]);
+    }
+}
+
+} // namespace
 
 void
 Program::layout()
@@ -19,6 +67,7 @@ Program::layout()
         m.bytecodeAddr = metadata;
         metadata += alignUp(static_cast<std::uint32_t>(
             m.code.size() * sizeof(Instruction)));
+        buildFoldTables(m);
     }
     JAVELIN_ASSERT(metadata < kStaticsBase,
                    "metadata region overflow: program too large");

@@ -9,6 +9,7 @@
 #ifndef JAVELIN_JVM_PROGRAM_HH
 #define JAVELIN_JVM_PROGRAM_HH
 
+#include <array>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -88,6 +89,26 @@ struct MethodInfo
     std::uint16_t nRefArgs = 0;
     /** Location of the bytecode in the metadata region (set by layout). */
     Address bytecodeAddr = 0;
+
+    /**
+     * Method-granular superinstruction tables, built once by
+     * Program::layout() and shared by every engine executing this
+     * program (DESIGN.md §5g). All are program-static: the foldable-run
+     * structure depends only on the code, and the per-tier micro-op
+     * transform maps zero to zero, so prefix sums per tier are fixed at
+     * load time no matter when methods are retiered.
+     */
+    /** Per-pc length of the maximal foldable run starting there
+     *  (0 = the op is not foldable), saturated at 0xFFFF. */
+    std::vector<std::uint16_t> runLen;
+    /** Prefix sums (size code.size() + 1) of each op's FP result stall
+     *  in half-cycles: a segment [a, b) stalls
+     *  0.5 * (fpStallHalfPrefix[b] - fpStallHalfPrefix[a]) cycles,
+     *  exact in binary since every stall is a multiple of 0.5. */
+    std::vector<std::uint32_t> fpStallHalfPrefix;
+    /** Prefix sums (size code.size() + 1) of tier-transformed semantic
+     *  micro-ops, indexed by static_cast<unsigned>(Tier). */
+    std::array<std::vector<std::uint32_t>, 4> semUopPrefix;
 };
 
 /**

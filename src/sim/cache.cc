@@ -33,30 +33,15 @@ Cache::Cache(const Config &config)
         static_cast<std::size_t>(numSets_) * config_.assoc;
     tags_.assign(ways + 1, kInvalidTag);
     use_.assign(ways, 0);
-    mru_.assign(2 * static_cast<std::size_t>(numSets_),
-                static_cast<std::uint32_t>(ways));
-}
-
-std::uint32_t
-Cache::pickVictim(std::uint32_t base) const
-{
-    // Invalid ways carry the sentinel tag; a free way (the last one, as
-    // the original combined scan preferred) always wins. Otherwise the
-    // packed use words order exactly like raw clock values (clocks are
-    // unique), so the strict minimum is the true LRU way.
-    const Address *tags = tags_.data() + base;
-    std::uint32_t free_way = config_.assoc;
-    for (std::uint32_t w = 0; w < config_.assoc; ++w)
-        if (tags[w] == kInvalidTag)
-            free_way = w;
-    if (free_way < config_.assoc)
-        return free_way;
-    const std::uint64_t *use = use_.data() + base;
-    std::uint32_t victim = 0;
-    for (std::uint32_t w = 1; w < config_.assoc; ++w)
-        if (use[w] < use[victim])
-            victim = w;
-    return victim;
+    // 4x the line capacity: the miss stream reaching a lower level is
+    // exactly the set of lines the upper level cannot hold, so memo
+    // pressure is highest right where collisions are most expensive.
+    memoMask_ = static_cast<std::uint32_t>(
+                    std::bit_ceil(static_cast<std::uint64_t>(ways))) *
+                    4 -
+                1;
+    memo_.assign(static_cast<std::size_t>(memoMask_) + 1,
+                 static_cast<std::uint32_t>(ways));
 }
 
 Cache::Result
@@ -65,12 +50,41 @@ Cache::accessSlow(Address line, bool is_write)
     const std::uint32_t set = setIndex(line);
     const std::uint32_t base = set * config_.assoc;
     const Address *tags = tags_.data() + base;
+    const std::uint64_t *use = use_.data() + base;
 
-    for (std::uint32_t w = 0; w < config_.assoc; ++w) {
-        if (tags[w] == line) {
-            pushMru(set, base + w);
-            return hitWay(base + w, is_write);
+    // Deep-stack workloads walk more distinct lines than the scaled L1
+    // holds, so true misses dominate this path (the memo catches most
+    // resident re-touches before it). One fixed-trip, branch-free pass
+    // computes all three selects a miss needs — the hit way, the last
+    // invalid way (as the original combined scan preferred) and the
+    // strict LRU minimum (first minimum wins; packed use words order
+    // exactly like raw clock values because clocks are unique) — so a
+    // miss never re-walks the set. The 8-way trip count covers every
+    // cache of both paper platforms except the PXA255's 32-way L1s.
+    std::uint32_t hit = config_.assoc;
+    std::uint32_t free_way = config_.assoc;
+    std::uint32_t lru = 0;
+    std::uint64_t lru_use = ~std::uint64_t{0};
+    if (config_.assoc == 8) [[likely]] {
+        for (std::uint32_t w = 0; w < 8; ++w) {
+            hit = tags[w] == line ? w : hit;
+            free_way = tags[w] == kInvalidTag ? w : free_way;
+            const bool less = use[w] < lru_use;
+            lru = less ? w : lru;
+            lru_use = less ? use[w] : lru_use;
         }
+    } else {
+        for (std::uint32_t w = 0; w < config_.assoc; ++w) {
+            hit = tags[w] == line ? w : hit;
+            free_way = tags[w] == kInvalidTag ? w : free_way;
+            const bool less = use[w] < lru_use;
+            lru = less ? w : lru;
+            lru_use = less ? use[w] : lru_use;
+        }
+    }
+    if (hit != config_.assoc) {
+        memo_[memoSlot(line)] = base + hit;
+        return hitWay(base + hit, is_write);
     }
 
     // Miss: allocate into the victim (fetch-on-write policy for stores).
@@ -83,13 +97,14 @@ Cache::accessSlow(Address line, bool is_write)
         ++stats_.readMisses;
     }
 
-    const std::uint32_t victim = base + pickVictim(base);
+    const std::uint32_t victim =
+        base + (free_way < config_.assoc ? free_way : lru);
     const bool writeback = wayValid(victim) && wayDirty(victim);
     if (writeback)
         ++stats_.writebacks;
     use_[victim] = (useClock_ << kUseShift) | (is_write ? kUseDirty : 0);
     tags_[victim] = line;
-    pushMru(set, victim);
+    memo_[memoSlot(line)] = victim;
     return {false, writeback, false};
 }
 
@@ -102,17 +117,38 @@ Cache::insertPrefetch(Address addr)
     // unobservable: only the relative order of lastUse values matters).
     ++useClock_;
     const std::uint32_t set = setIndex(line);
-    const std::uint32_t *m =
-        mru_.data() + 2 * static_cast<std::size_t>(set);
-    if (tags_[m[0]] == line || tags_[m[1]] == line)
+    if (tags_[memo_[memoSlot(line)]] == line)
         return false; // already resident (memoized) — no state change
     const std::uint32_t base = set * config_.assoc;
     const Address *tags = tags_.data() + base;
-    for (std::uint32_t w = 0; w < config_.assoc; ++w)
-        if (tags[w] == line)
-            return false; // already resident
+    const std::uint64_t *use = use_.data() + base;
+    // Same fused fixed-trip select as accessSlow's miss path.
+    std::uint32_t hit = config_.assoc;
+    std::uint32_t free_way = config_.assoc;
+    std::uint32_t lru = 0;
+    std::uint64_t lru_use = ~std::uint64_t{0};
+    if (config_.assoc == 8) [[likely]] {
+        for (std::uint32_t w = 0; w < 8; ++w) {
+            hit = tags[w] == line ? w : hit;
+            free_way = tags[w] == kInvalidTag ? w : free_way;
+            const bool less = use[w] < lru_use;
+            lru = less ? w : lru;
+            lru_use = less ? use[w] : lru_use;
+        }
+    } else {
+        for (std::uint32_t w = 0; w < config_.assoc; ++w) {
+            hit = tags[w] == line ? w : hit;
+            free_way = tags[w] == kInvalidTag ? w : free_way;
+            const bool less = use[w] < lru_use;
+            lru = less ? w : lru;
+            lru_use = less ? use[w] : lru_use;
+        }
+    }
+    if (hit != config_.assoc)
+        return false; // already resident
 
-    const std::uint32_t victim = base + pickVictim(base);
+    const std::uint32_t victim =
+        base + (free_way < config_.assoc ? free_way : lru);
     if (wayValid(victim) && wayDirty(victim))
         ++stats_.writebacks;
     use_[victim] = (useClock_ << kUseShift) | kUsePrefetched;
@@ -120,7 +156,7 @@ Cache::insertPrefetch(Address addr)
     // A demand stream catching up with the prefetcher hits this line
     // next, so memoizing the inserted way helps; the fast path
     // re-validates the tag, so a stale memo can never corrupt state.
-    pushMru(set, victim);
+    memo_[memoSlot(line)] = victim;
     return true;
 }
 
@@ -143,8 +179,7 @@ Cache::flush()
     tags_.assign(ways + 1, kInvalidTag);
     use_.assign(ways, 0);
     useClock_ = 0;
-    mru_.assign(2 * static_cast<std::size_t>(numSets_),
-                static_cast<std::uint32_t>(ways));
+    memo_.assign(memo_.size(), static_cast<std::uint32_t>(ways));
 }
 
 } // namespace sim

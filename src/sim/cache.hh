@@ -7,21 +7,22 @@
  * L1I/L1D, no L2). Timing is handled by the enclosing MemoryHierarchy;
  * this class only tracks hit/miss/victim state and statistics.
  *
- * The access path is split into an inlined MRU fast path and an
- * out-of-line way scan (DESIGN.md §5c/§5d): each set remembers the two
- * ways it touched most recently, and a repeated hit on either line —
- * the dominant pattern for straight-line instruction fetch, for the
- * interpreter's handler lines alternating with frame and data lines,
- * and for the GC's scan/copy charge spans — skips the scan entirely.
- * (The memo is per set rather than global: the mutator interleaves the
- * frame-spill line, operand lines and scattered heap lines, which map
- * to different sets and would evict each other from any small global
- * memo, but each usually re-hits within its own set.) The memos are
- * purely indices: the fast path re-validates the tag, and performs
- * exactly the same LRU clock, dirty-bit and statistics updates as the
- * scan, so no architectural event ever differs
- * (tests/test_cache_diff.cc holds an independent reference model to
- * that contract).
+ * The access path is split into an inlined memo fast path and an
+ * out-of-line way scan (DESIGN.md §5c/§5d/§5g): a direct-mapped,
+ * line-indexed way memo (sized to four times the line capacity) remembers
+ * which way last held each line, so *every* re-touched resident line —
+ * straight-line instruction fetch, the interpreter's handler lines,
+ * frame and spill lines across a deep call stack, the GC's scan/copy
+ * spans — skips the scan, not just the last two lines per set as the
+ * earlier per-set MRU-2 memo did. Call-dense workloads walk hundreds
+ * of distinct stack lines between re-touches; per-set recency lost
+ * them, a line-indexed table does not. The memo is purely a way
+ * index: the fast path re-validates the tag (a tag can only reside in
+ * the set it indexes, so a validated match proves the right, valid
+ * line), and performs exactly the same LRU clock, dirty-bit and
+ * statistics updates as the scan, so no architectural event ever
+ * differs (tests/test_cache_diff.cc holds an independent reference
+ * model to that contract).
  *
  * Storage is structure-of-arrays (DESIGN.md §5d): the tags of one set
  * are contiguous, so the hit scan touches one host cache line per set;
@@ -40,6 +41,8 @@
 #include <string>
 #include <utility>
 #include <vector>
+
+#include "util/logging.hh"
 
 namespace javelin {
 namespace sim {
@@ -99,25 +102,47 @@ class Cache
      * stores) and evicts the LRU way, reporting a writeback if the victim
      * was dirty.
      *
-     * Fast path: if either of the set's MRU memo slots still holds the
-     * addressed line, the way scan is skipped. A tag can only reside in
-     * the set it indexes and invalid ways hold the unreachable sentinel
-     * tag, so a tag match on a memoized way proves it is the right,
-     * valid line.
+     * Fast path: if the line's memo slot still points at a way holding
+     * it, the way scan is skipped. A tag can only reside in the set it
+     * indexes and invalid ways hold the unreachable sentinel tag, so a
+     * tag match on a memoized way proves it is the right, valid line.
      */
     Result
     access(Address addr, bool is_write)
     {
         const Address line = lineNumber(addr);
-        std::uint32_t *m = mru_.data() +
-                           2 * static_cast<std::size_t>(setIndex(line));
-        if (tags_[m[0]] == line) [[likely]]
-            return hitWay(m[0], is_write);
-        if (tags_[m[1]] == line) {
-            std::swap(m[0], m[1]);
-            return hitWay(m[0], is_write);
-        }
+        const std::uint32_t way = memo_[memoSlot(line)];
+        if (tags_[way] == line) [[likely]]
+            return hitWay(way, is_write);
         return accessSlow(line, is_write);
+    }
+
+    /**
+     * Fold `count` further accesses to the line the immediately
+     * preceding access() touched, with nothing else in between: the
+     * line is resident and its memo slot points at it by construction,
+     * so the final cache state and statistics are exactly those of
+     * `count` access() calls — the LRU clock ticks once per access,
+     * the hit counters grow by `count`, the way's use word ends at the
+     * final clock with the dirty bit carried (or set, for writes) and
+     * the prefetched bit dropped, just as repeated hitWay calls would
+     * leave it. Block accessors use this to skip re-walking the memo
+     * for stride runs inside one line.
+     */
+    void
+    repeatHits(Address addr, std::uint32_t count, bool is_write)
+    {
+        const Address line = lineNumber(addr);
+        const std::uint32_t way = memo_[memoSlot(line)];
+        JAVELIN_ASSERT(tags_[way] == line,
+                       "repeatHits on a non-resident line");
+        useClock_ += count;
+        if (is_write)
+            stats_.writes += count;
+        else
+            stats_.reads += count;
+        use_[way] = (useClock_ << kUseShift) | (use_[way] & kUseDirty) |
+                    (is_write ? kUseDirty : 0);
     }
 
     /**
@@ -134,6 +159,7 @@ class Cache
 
     /** Invalidate everything (e.g., between experiment runs). */
     void flush();
+
 
     const Config &config() const { return config_; }
     const Stats &stats() const { return stats_; }
@@ -159,18 +185,15 @@ class Cache
     static constexpr std::uint64_t kUsePrefetched = 2;
     static constexpr std::uint64_t kUseShift = 2;
 
-    /** Record a scan/fill result as its set's most recent way. */
-    void
-    pushMru(std::uint32_t set, std::uint32_t way)
+    /** Direct-mapped memo slot of a line. */
+    std::size_t
+    memoSlot(Address line) const
     {
-        std::uint32_t *m =
-            mru_.data() + 2 * static_cast<std::size_t>(set);
-        m[1] = m[0];
-        m[0] = way;
+        return static_cast<std::size_t>(line) & memoMask_;
     }
 
     /** Full way scan: hit refresh or LRU-victim allocation. Updates the
-     *  MRU memos to the touched way. */
+     *  line's memo slot to the touched way. */
     Result accessSlow(Address line, bool is_write);
 
     /** Shared hit bookkeeping for the memo fast path and the scan. */
@@ -188,11 +211,6 @@ class Cache
                     (is_write ? kUseDirty : 0);
         return {true, false, (old & kUsePrefetched) != 0};
     }
-
-    /** Victim way (offset within the set) replicating the original
-     *  combined scan: last invalid way wins, else the strict LRU
-     *  minimum (first minimum wins). */
-    std::uint32_t pickVictim(std::uint32_t base) const;
 
     bool wayValid(std::uint32_t way) const
     {
@@ -215,9 +233,10 @@ class Cache
     std::uint32_t numSets_;
     std::uint32_t lineShift_;
     std::uint32_t setMask_;
-    /** Per-set MRU memo pairs (2 * numSets_), most recent first; empty
-     *  slots point at the sentinel tag slot. */
-    std::vector<std::uint32_t> mru_;
+    std::uint32_t memoMask_;
+    /** Line-indexed way memo (direct-mapped, 4x the line capacity);
+     *  empty slots point at the sentinel tag slot. */
+    std::vector<std::uint32_t> memo_;
     std::uint64_t useClock_ = 0;
     /** numSets_ * assoc set-major tags + one trailing sentinel slot
      *  that permanently holds kInvalidTag (the empty-memo target). */

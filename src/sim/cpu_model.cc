@@ -16,6 +16,10 @@ CpuModel::CpuModel(const Config &config, MemoryHierarchy &memory,
     JAVELIN_ASSERT(line > 0 && std::has_single_bit(line),
                    "L1I line size must be a power of two");
     fetchLineShift_ = static_cast<std::uint32_t>(std::countr_zero(line));
+    const std::uint32_t dline = memory_.config().l1d.lineBytes;
+    JAVELIN_ASSERT(dline > 0 && std::has_single_bit(dline),
+                   "L1D line size must be a power of two");
+    dataLineShift_ = static_cast<std::uint32_t>(std::countr_zero(dline));
     recomputePeriod();
 }
 
@@ -24,6 +28,7 @@ CpuModel::recomputePeriod()
 {
     periodEffTicks_ =
         static_cast<double>(kTicksPerSecond) / freqHz_ / duty_;
+    baseCpiTicks_ = config_.baseCpi * periodEffTicks_;
 }
 
 void

@@ -126,7 +126,7 @@ class CpuModel
     {
         // A load is itself a retired micro-op occupying an issue slot.
         ++counters_.instructions;
-        advanceCycles(config_.baseCpi);
+        advanceBaseCpi();
         chargePenalty(memory_.data(addr, false));
     }
 
@@ -135,7 +135,7 @@ class CpuModel
     store(Address addr)
     {
         ++counters_.instructions;
-        advanceCycles(config_.baseCpi);
+        advanceBaseCpi();
         // Stores retire through a store buffer; expose half the miss
         // penalty.
         const std::uint32_t penalty = memory_.data(addr, true);
@@ -144,15 +144,95 @@ class CpuModel
     }
 
     /**
+     * Issue a data load through a caller-owned one-line stream buffer
+     * (the D-side analogue of execute()'s i-fetch buffer): if the
+     * address falls in the line named by `buf_line`, the word comes
+     * straight from the buffer — the load micro-op still retires and
+     * charges its base CPI, but the D-cache is not accessed at all.
+     * Otherwise the buffer refills: a normal load() is charged and
+     * `buf_line` is updated. The buffer state is a pure function of
+     * the address sequence the caller issues, so two charge paths
+     * that issue the same sequence (the interpreter's per-op oracle
+     * and its folded fast path) see identical buffer behavior by
+     * construction. The interpreter threads its bytecode-operand
+     * stream through this: adjacent bytecode words share a D-line
+     * 7 times out of 8, and a real interpreter's front end reads
+     * them from the sequential fill, not through a fresh cache port
+     * access per word (DESIGN.md §5g).
+     */
+    [[gnu::always_inline]] inline void
+    loadBuffered(Address addr, Address &buf_line)
+    {
+        ++counters_.instructions;
+        advanceBaseCpi();
+        const Address line = addr >> dataLineShift_;
+        if (line == buf_line) [[likely]]
+            return;
+        buf_line = line;
+        chargePenalty(memory_.data(addr, false));
+    }
+
+    /**
+     * Issue `count` loads at addr, addr + stride, ... through the
+     * caller's one-line stream buffer — exactly the corresponding
+     * loadBuffered() loop (the interpreter's folded operand-fetch
+     * runs charge through this, and its per-op oracle issues the
+     * identical sequence one loadBuffered at a time).
+     */
+    void
+    loadBufferedBlock(Address addr, std::uint32_t count,
+                      std::uint32_t stride_bytes, Address &buf_line)
+    {
+        for (std::uint32_t i = 0; i < count; ++i)
+            loadBuffered(addr + static_cast<Address>(i) * stride_bytes,
+                         buf_line);
+    }
+
+    /**
+     * Fold `k` repeats of a load whose line the immediately preceding
+     * data access touched: counters, cycle accumulation and cache
+     * state come out exactly as k load() calls would leave them (each
+     * is an L1 hit with zero penalty by construction), without
+     * re-walking the hierarchy per access. Cycle time still advances
+     * once per retired load — a single fused add would round
+     * differently than the per-access sequence the oracle charges.
+     */
+    void
+    repeatLoads(Address addr, std::uint32_t k)
+    {
+        counters_.instructions += k;
+        for (std::uint32_t j = 0; j < k; ++j)
+            advanceBaseCpi();
+        memory_.dataRepeat(addr, k, false);
+    }
+
+    /**
      * Issue `count` loads at addr, addr + stride, ... Equivalent to the
      * corresponding load() loop; a zero stride models repeated touches
-     * of one location (e.g., free-list link chasing).
+     * of one location (e.g., free-list link chasing). Consecutive
+     * loads that land in one cache line are folded through
+     * repeatLoads — the stride runs the interpreter's operand and
+     * spill streams issue spend most of their accesses inside a line.
      */
     void
     loadBlock(Address addr, std::uint32_t count, std::uint32_t stride_bytes)
     {
-        for (std::uint32_t i = 0; i < count; ++i)
-            load(addr + static_cast<Address>(i) * stride_bytes);
+        std::uint32_t i = 0;
+        while (i < count) {
+            const Address a =
+                addr + static_cast<Address>(i) * stride_bytes;
+            load(a);
+            ++i;
+            std::uint32_t k = 0;
+            while (i + k < count &&
+                   ((addr + static_cast<Address>(i + k) * stride_bytes) >>
+                    dataLineShift_) == (a >> dataLineShift_))
+                ++k;
+            if (k > 0) {
+                repeatLoads(a, k);
+                i += k;
+            }
+        }
     }
 
     /** Issue `count` stores at addr, addr + stride, ... (see loadBlock). */
@@ -210,9 +290,25 @@ class CpuModel
     loadWindowBlock(std::uint32_t count, Address base, std::uint64_t cursor,
                     std::uint64_t window_mask, std::uint32_t stride_bytes)
     {
-        for (std::uint32_t i = 0; i < count; ++i) {
-            load(base + (cursor & window_mask));
+        // Same-line folding as loadBlock; the wrap makes each address
+        // explicit, so runs are detected access by access.
+        std::uint32_t i = 0;
+        while (i < count) {
+            const Address a = base + (cursor & window_mask);
+            load(a);
             cursor += stride_bytes;
+            ++i;
+            std::uint32_t k = 0;
+            while (i + k < count &&
+                   ((base + (cursor & window_mask)) >> dataLineShift_) ==
+                       (a >> dataLineShift_)) {
+                cursor += stride_bytes;
+                ++k;
+            }
+            if (k > 0) {
+                repeatLoads(a, k);
+                i += k;
+            }
         }
     }
 
@@ -222,7 +318,7 @@ class CpuModel
     {
         ++counters_.branches;
         ++counters_.instructions;
-        advanceCycles(config_.baseCpi);
+        advanceBaseCpi();
         if (mispredict) {
             ++counters_.branchMispredicts;
             const auto p = static_cast<double>(config_.branchPenalty);
@@ -297,6 +393,19 @@ class CpuModel
     }
 
     /**
+     * advanceCycles(config_.baseCpi) with the tick product hoisted:
+     * baseCpi * periodEffTicks_ only changes when the period does, so
+     * recomputePeriod() folds it once and every retired micro-op adds
+     * the identical double the per-call multiply would produce.
+     */
+    [[gnu::always_inline]] inline void
+    advanceBaseCpi()
+    {
+        cycleAcc_ += config_.baseCpi;
+        tickAcc_ += baseCpiTicks_;
+    }
+
+    /**
      * Accumulate stall cycles in a double so fractional penalties
      * (memStallFactor scaling, FP-latency stalls) are not truncated
      * per event; the architectural counter is the floor of the
@@ -327,12 +436,16 @@ class CpuModel
     PerfCounters &counters_;
     /** log2 of the L1I line size, precomputed for the fetch span. */
     std::uint32_t fetchLineShift_;
+    /** log2 of the L1D line size (same-line folding in block loads). */
+    std::uint32_t dataLineShift_;
     /** Line index held by the one-line fetch buffer (see execute);
      *  ~0 is unreachable for any real address, so it means "empty". */
     Address fetchBufLine_ = ~Address{0};
     double freqHz_;
     double duty_ = 1.0;
     double periodEffTicks_ = 0.0;
+    /** config_.baseCpi * periodEffTicks_, folded by recomputePeriod(). */
+    double baseCpiTicks_ = 0.0;
     double cycleAcc_ = 0.0;
     double tickAcc_ = 0.0;
     double stallAcc_ = 0.0;

@@ -74,6 +74,19 @@ class MemoryHierarchy
         return dataMiss(addr, is_write, r.writeback);
     }
 
+    /**
+     * Fold `count` further data accesses to the line the immediately
+     * preceding data() call touched (same line, nothing in between).
+     * They are L1 hits by construction — zero penalty each — and leave
+     * counters and cache state exactly as `count` data() calls would.
+     */
+    void
+    dataRepeat(Address addr, std::uint32_t count, bool is_write)
+    {
+        counters_.l1dAccesses += count;
+        l1d_.repeatHits(addr, count, is_write);
+    }
+
     /** Invalidate all levels. */
     void flush();
 

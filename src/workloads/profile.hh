@@ -70,6 +70,15 @@ struct BenchmarkProfile
     std::uint32_t coldMethods = 96;
     /** Cold calls per iteration. */
     std::uint32_t coldCallsPerIter = 2;
+    /** Depth of the straight per-iteration call chain (0 = none):
+     *  models deeply nested helper calls a few bytecodes apart. */
+    std::uint32_t callChainDepth = 0;
+    /** Times the chain is descended per iteration (ignored when
+     *  callChainDepth is 0); lets call-density profiles outweigh
+     *  their allocation and compute work. */
+    std::uint32_t chainInvokesPerIter = 1;
+    /** Per-iteration self-recursion depth (0 = none). */
+    std::uint32_t recurseDepth = 0;
     /** Metadata walked per class load (bytes). */
     std::uint32_t classMetadataBytes = 1400;
     /** Constant-pool entries per class. */

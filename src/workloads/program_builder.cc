@@ -183,6 +183,8 @@ class Builder
 
     MethodId emitCold(std::uint32_t k);
     MethodId emitDispatch(std::uint32_t lo, std::uint32_t hi);
+    MethodId emitChainLink(std::uint32_t level, MethodId next);
+    MethodId emitRecurse();
     MethodId emitAllocShort();
     MethodId emitAllocLong();
     MethodId emitAllocLinked();
@@ -208,6 +210,7 @@ class Builder
     MethodId mAllocShort_ = 0, mAllocLong_ = 0, mAllocLinked_ = 0;
     MethodId mAllocArrays_ = 0, mCompute_ = 0, mTraverse_ = 0;
     MethodId mInit_ = 0, mIteration_ = 0, mDispatchRoot_ = 0;
+    MethodId mChainRoot_ = 0, mRecurse_ = 0;
     std::vector<MethodId> coldMethods_;
 };
 
@@ -342,6 +345,54 @@ Builder::emitDispatch(std::uint32_t lo, std::uint32_t hi)
     mb.emit(Op::Call, ret, static_cast<std::int32_t>(right), idx, 0);
     mb.patchTarget(skip, mb.here());
     return mb.finishRet(ret);
+}
+
+MethodId
+Builder::emitChainLink(std::uint32_t level, MethodId next)
+{
+    // One link of the straight call chain (profile callChainDepth):
+    // a couple of ALU ops around a call to the next link, so frames
+    // push and pop every handful of bytecodes — the nested-helper
+    // shape of call-dense workloads like jess/jack.
+    MethodBuilder mb(program_, "chain" + std::to_string(level),
+                     plan_.firstApp + (level % plan_.appClasses), 1, 0);
+    const std::int32_t x = 0;
+    const std::int32_t t = mb.ireg();
+    const std::int32_t c = mb.constant(
+        static_cast<std::int32_t>(level * 2246822519u & 0xffff));
+    mb.emit(Op::IAdd, t, x, c);
+    if (level == 0) {
+        // Bottom of the chain: a short straight-line body.
+        mb.emit(Op::IXor, t, t, c);
+        mb.emit(Op::IAdd, t, t, x);
+        return mb.finishRet(t);
+    }
+    mb.call(t, next, t);
+    mb.emit(Op::IXor, t, t, c);
+    return mb.finishRet(t);
+}
+
+MethodId
+Builder::emitRecurse()
+{
+    // recurse(n): classic self-recursion, n frames deep. The callee id
+    // is this method's own id (assigned at MethodBuilder construction),
+    // so the verifier sees an in-range target once commit runs.
+    MethodBuilder mb(program_, "recurse", plan_.firstApp, 1, 0);
+    const std::int32_t n = 0;
+    const std::int32_t t = mb.ireg();
+    const std::int32_t m = mb.ireg();
+    const std::int32_t one = mb.constant(1);
+    const std::int32_t zero = mb.constant(0);
+    const std::uint32_t base = mb.emit(Op::IfLt, n, one, 0);
+    mb.emit(Op::ISub, m, n, one);
+    mb.call(t, mb.method().id, m);
+    mb.emit(Op::IAdd, t, t, n);
+    const std::uint32_t done = mb.emit(Op::Goto, 0);
+    mb.patchTarget(base, mb.here());
+    mb.emit(Op::Move, t, zero);
+    mb.patchTarget(done, mb.here());
+    return mb.finishRet(t);
 }
 
 MethodId
@@ -766,6 +817,18 @@ Builder::emitIteration()
         callWith(mTraverse_,
                  static_cast<std::int32_t>(plan_.traversePerIter));
 
+    // Deep helper chain and recursion (call-dense profiles only).
+    if (p_.callChainDepth > 0) {
+        for (std::uint32_t c = 0;
+             c < std::max<std::uint32_t>(1, p_.chainInvokesPerIter); ++c) {
+            mb.call(t, mChainRoot_, iter); // arg window starts at iter
+            mb.emit(Op::IXor, acc, acc, t);
+        }
+    }
+    if (p_.recurseDepth > 0)
+        callWith(mRecurse_,
+                 static_cast<std::int32_t>(p_.recurseDepth));
+
     // Cold calls through the dispatch tree.
     for (std::uint32_t c = 0; c < p_.coldCallsPerIter; ++c) {
         const std::int32_t bound = mb.constant(
@@ -828,6 +891,14 @@ Builder::buildMethods()
     for (std::uint32_t k = 0; k < plan_.coldClasses; ++k)
         coldMethods_.push_back(emitCold(k));
     mDispatchRoot_ = emitDispatch(0, plan_.coldClasses);
+    if (p_.callChainDepth > 0) {
+        MethodId next = 0;
+        for (std::uint32_t lvl = 0; lvl < p_.callChainDepth; ++lvl)
+            next = emitChainLink(lvl, next);
+        mChainRoot_ = next;
+    }
+    if (p_.recurseDepth > 0)
+        mRecurse_ = emitRecurse();
     mAllocShort_ = emitAllocShort();
     mAllocLong_ = emitAllocLong();
     mAllocLinked_ = emitAllocLinked();

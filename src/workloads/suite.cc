@@ -386,6 +386,53 @@ makeProfiles()
     return v;
 }
 
+/**
+ * Synthetic (non-paper) profiles: resolvable through benchmark() for
+ * tests and micro-benchmarks, but deliberately excluded from
+ * allBenchmarks() so the paper matrices (fig drivers, the fig07-edp
+ * builtin scenario and its pinned fixtures) keep exactly the sixteen
+ * paper benchmarks.
+ */
+std::vector<BenchmarkProfile>
+makeSyntheticProfiles()
+{
+    std::vector<BenchmarkProfile> v;
+    {
+        // Call-density stress: jess-like allocation at a fraction of
+        // the compute, with a deep helper chain, per-iteration
+        // recursion and many cold calls through the dispatch tree, so
+        // Call/Ret dominate the bytecode stream (frames turn over
+        // every ~5-10 bytecodes). The allocation volume is kept small
+        // enough that the alloc loops do not drown out the call
+        // machinery this benchmark exists to stress. Drives
+        // BM_EndToEndCallHeavy and the call-heavy golden run.
+        BenchmarkProfile p;
+        p.name = "call_heavy";
+        p.suite = "Synthetic";
+        p.allocMB = 240;
+        p.liveMB = 4;
+        p.meanObjBytes = 48;
+        p.arrayFraction = 0.05;
+        p.shortFraction = 0.85;
+        p.linkedFraction = 0.05;
+        p.computePerIterK = 1;
+        p.fpFraction = 0.05;
+        p.scratchKB = 16;
+        p.traversePerIterK = 0;
+        p.appClasses = 28;
+        p.bootClasses = 150;
+        p.coldMethods = 160;
+        p.coldCallsPerIter = 12;
+        p.callChainDepth = 160;
+        p.chainInvokesPerIter = 6;
+        p.recurseDepth = 200;
+        p.nativeUopsPerIter = 200;
+        p.seed = 555;
+        v.push_back(std::move(p));
+    }
+    return v;
+}
+
 } // namespace
 
 const std::vector<BenchmarkProfile> &
@@ -395,10 +442,21 @@ allBenchmarks()
     return profiles;
 }
 
+const std::vector<BenchmarkProfile> &
+syntheticBenchmarks()
+{
+    static const std::vector<BenchmarkProfile> profiles =
+        makeSyntheticProfiles();
+    return profiles;
+}
+
 const BenchmarkProfile &
 benchmark(const std::string &name)
 {
     for (const auto &p : allBenchmarks())
+        if (p.name == name)
+            return p;
+    for (const auto &p : syntheticBenchmarks())
         if (p.name == name)
             return p;
     JAVELIN_FATAL("unknown benchmark: ", name);

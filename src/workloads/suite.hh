@@ -15,10 +15,15 @@
 namespace javelin {
 namespace workloads {
 
-/** All benchmarks, in paper order. */
+/** All paper benchmarks, in paper order. */
 const std::vector<BenchmarkProfile> &allBenchmarks();
 
-/** Look up one benchmark by name; fatal if unknown. */
+/** Synthetic stress profiles (e.g. "call_heavy"): resolvable via
+ *  benchmark() but excluded from the paper matrices above. */
+const std::vector<BenchmarkProfile> &syntheticBenchmarks();
+
+/** Look up one benchmark (paper or synthetic) by name; fatal if
+ *  unknown. */
 const BenchmarkProfile &benchmark(const std::string &name);
 
 /** Benchmarks belonging to one suite ("SpecJVM98", "DaCapo", "JGF"). */

@@ -191,8 +191,15 @@ TEST_P(InterpDiff, FastPathBitIdenticalUnderMarkSweep)
     expectIdentical(fast, ref);
 }
 
+// call_heavy is the synthetic call-density stress (deep helper chains,
+// per-iteration recursion, cold calls fanned through the dispatch
+// tree): Call/Ret dominate its stream, so it leans on exactly the
+// machinery the trace executor inlines — frame push/pop, the
+// frame-refresh tail, the register-pool watermarks — under every tier
+// and both heap pressures.
 INSTANTIATE_TEST_SUITE_P(Workloads, InterpDiff,
-                         testing::Values("_202_jess", "_209_db"));
+                         testing::Values("_202_jess", "_209_db",
+                                         "call_heavy"));
 
 /**
  * Golden pin of one batched run: lockstep regressions (a model change
