@@ -29,6 +29,7 @@ main(int argc, char **argv)
     // (pinned as tests/fixtures/abl_dvfs.scenario.json); --scenario-out
     // exports it for javelin-sweep.
     const Scenario scenario = builtinScenario("abl-dvfs");
+    std::string traceDir;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg == "--scenario-out" && i + 1 < argc) {
@@ -40,7 +41,12 @@ main(int argc, char **argv)
             writeScenario(out, scenario);
             return 0;
         }
-        std::cerr << "usage: abl_dvfs [--scenario-out FILE]\n";
+        if (arg == "--trace-dir" && i + 1 < argc) {
+            traceDir = argv[++i];
+            continue;
+        }
+        std::cerr << "usage: abl_dvfs [--scenario-out FILE] "
+                     "[--trace-dir DIR]\n";
         return 2;
     }
 
@@ -48,7 +54,12 @@ main(int argc, char **argv)
 
     const auto spec = sim::p6Spec();
     const auto &names = scenario.benchmarks;
-    const auto tasks = expandScenario(scenario);
+    auto tasks = expandScenario(scenario);
+    // Host-side capture knob; shard keys name the per-run spool dirs.
+    if (!traceDir.empty())
+        for (auto &task : tasks)
+            task.config.traceSpoolDir =
+                traceDir + "/" + shardKey(task);
     const auto outcomes = runSweep(tasks);
     if (reportSweepFailures(std::cerr, tasks, outcomes) > 0)
         return 1;

@@ -32,6 +32,7 @@ main(int argc, char **argv)
     // the matrix, --scenario-out exports it for javelin-sweep (the
     // committed copy is tests/fixtures/fig07_edp.scenario.json).
     Scenario scenario = builtinScenario("fig07-edp");
+    std::string traceDir;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg == "--scenario-out" && i + 1 < argc) {
@@ -43,8 +44,12 @@ main(int argc, char **argv)
             writeScenario(out, scenario);
             return 0;
         }
+        if (arg == "--trace-dir" && i + 1 < argc) {
+            traceDir = argv[++i];
+            continue;
+        }
         std::cerr << "usage: fig07_edp_collectors [--scenario-out "
-                     "FILE]\n";
+                     "FILE] [--trace-dir DIR]\n";
         return 2;
     }
 
@@ -58,7 +63,13 @@ main(int argc, char **argv)
     const auto &collectors = scenario.collectors;
     const auto &heaps = scenario.heapsMB;
 
-    const auto tasks = expandScenario(scenario);
+    auto tasks = expandScenario(scenario);
+    // Per-shard spool directories: host-side capture only, so the
+    // shard key (not the config hash) names each run's traces.
+    if (!traceDir.empty())
+        for (auto &task : tasks)
+            task.config.traceSpoolDir =
+                traceDir + "/" + shardKey(task);
     SweepRunner::Config rc;
     rc.progress = consoleProgress("fig07 sweep");
     const auto outcomes = SweepRunner(rc).run(tasks);

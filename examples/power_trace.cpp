@@ -1,12 +1,18 @@
 /**
  * @file
  * Example: export the raw measurement traces of one run — the 40 µs
- * power samples (CSV: tick, watts, component) and the HPM counter
- * samples — so the paper's figures can be re-plotted from javelin data
- * with any plotting tool.
+ * power samples and the HPM counter samples — so the paper's figures
+ * can be re-plotted from javelin data with any plotting tool.
+ *
+ * Capture goes through the asynchronous trace spool (DESIGN.md §10):
+ * samples stream to javelin-trace-v1 binary files as the run executes
+ * — capture memory stays flat no matter how long the run is — and the
+ * CSVs are decoded from the binary traces afterwards. `javelin-trace
+ * cat/index/range` can inspect the .jtrc files directly.
  *
  * Usage: power_trace [benchmark] [heapMB] [outdir]
- * Writes <outdir>/<benchmark>_power.csv and _perf.csv.
+ * Writes <outdir>/<benchmark>_{power,perf}.csv and the binary
+ * <outdir>/<benchmark>.{power,perf}.jtrc they were decoded from.
  */
 
 #include <fstream>
@@ -16,6 +22,7 @@
 #include "core/daq.hh"
 #include "core/hpm_sampler.hh"
 #include "core/trace_io.hh"
+#include "core/trace_spool.hh"
 #include "harness/experiment.hh"
 
 using namespace javelin;
@@ -42,10 +49,31 @@ main(int argc, char **argv)
     vmCfg.heapBytes = harness::scaledHeapBytes(cfg);
     jvm::Jvm vm(system, program, vmCfg);
 
-    core::Daq daq(system, vm.port());
-    core::HpmSampler hpm(system, vm.port(),
-                         core::HpmSampler::Config{
-                             100 * kTicksPerMicro, 4096});
+    // Spool-only capture: no in-memory trace at all; the spool's two
+    // block buffers are the entire capture footprint.
+    const std::string powerTrc = outdir + "/" + bench + ".power.jtrc";
+    const std::string perfTrc = outdir + "/" + bench + ".perf.jtrc";
+    core::TraceSpool::Config powerSp;
+    powerSp.path = powerTrc;
+    powerSp.kind = core::tracefmt::RecordKind::Power;
+    powerSp.backend = core::TraceSpool::backendFromEnv();
+    core::TraceSpool powerSpool(powerSp);
+    core::TraceSpool::Config perfSp;
+    perfSp.path = perfTrc;
+    perfSp.kind = core::tracefmt::RecordKind::Perf;
+    perfSp.backend = core::TraceSpool::backendFromEnv();
+    core::TraceSpool perfSpool(perfSp);
+
+    core::Daq::Config daqCfg;
+    daqCfg.spool = &powerSpool;
+    daqCfg.keepInMemory = false;
+    core::Daq daq(system, vm.port(), daqCfg);
+
+    core::HpmSampler::Config hpmCfg;
+    hpmCfg.period = 100 * kTicksPerMicro;
+    hpmCfg.spool = &perfSpool;
+    hpmCfg.keepInMemory = false;
+    core::HpmSampler hpm(system, vm.port(), hpmCfg);
 
     std::cout << "running " << bench << " (heap " << heap
               << " MB nominal)...\n";
@@ -54,20 +82,26 @@ main(int argc, char **argv)
         std::cerr << "out of memory\n";
         return 1;
     }
+    powerSpool.close();
+    perfSpool.close();
 
+    // Decode the binary traces back out for the plotting-tool CSVs.
     const std::string powerPath = outdir + "/" + bench + "_power.csv";
     const std::string perfPath = outdir + "/" + bench + "_perf.csv";
     {
+        core::TraceReader reader(powerTrc);
         std::ofstream f(powerPath);
-        core::writePowerCsv(f, daq.trace());
+        core::writePowerCsv(f, reader.readPower());
     }
     {
+        core::TraceReader reader(perfTrc);
         std::ofstream f(perfPath);
-        core::writePerfCsv(f, hpm.trace());
+        core::writePerfCsv(f, reader.readPerf());
     }
-    std::cout << "wrote " << daq.trace().size() << " power samples to "
-              << powerPath << "\n      " << hpm.trace().size()
-              << " perf samples to " << perfPath << "\n"
+    std::cout << "wrote " << daq.samplesTaken() << " power samples to "
+              << powerPath << " (spooled via " << powerTrc << ")\n"
+              << "      " << hpm.samplesTaken() << " perf samples to "
+              << perfPath << " (spooled via " << perfTrc << ")\n"
               << "run: " << r.seconds() * 1e3 << " ms, "
               << r.gc.collections << " GCs, "
               << daq.measuredCpuJoules() << " J measured\n";

@@ -6,9 +6,10 @@
 # Debug ASan+UBSan pass over the same suite (the threaded-dispatch and
 # SoA hot paths lean on raw pointers and computed goto, exactly where
 # sanitizers earn their keep); then the perf gate: Release builds of
-# bench/micro_sim and bench/micro_gc whose gated throughput metrics
-# must stay within 10 % of the committed baselines (see
-# scripts/compare_bench.py); and finally the statistical energy gate:
+# bench/micro_sim, bench/micro_gc, and bench/micro_trace whose gated
+# throughput metrics must stay within 10 % of the committed baselines
+# (see scripts/compare_bench.py); plus the trace-spool smoke
+# (crash-recovery round trip) and the flat-RSS capture ceiling; and finally the statistical energy gate:
 # a Release ensemble run over the pinned seed list, compared against
 # bench/ENSEMBLE_energy.baseline.json for statistically significant
 # energy/EDP regressions (see scripts/compare_ensemble.py). Mirrors
@@ -78,6 +79,57 @@ fi
 echo "kill-and-resume smoke: report byte-identical," \
     "restored=$restored executed=$executed total=$total"
 
+# --- trace-spool smoke: record a synthetic power trace alongside an
+# --- in-memory CSV oracle and require the spooled binary file to
+# --- decode byte-identically; then SIGKILL the recorder mid-spool via
+# --- --crash-after-blocks and require recovery to yield an exact,
+# --- non-trivial line-prefix of the oracle (torn-tail semantics of
+# --- javelin-trace-v1; DESIGN.md §10).
+TRACE=build/src/tools/javelin-trace
+TRACE_DIR=build/trace-smoke
+rm -rf "$TRACE_DIR"
+mkdir -p "$TRACE_DIR"
+"$TRACE" record --samples 50000 --out "$TRACE_DIR/clean.jtrc" \
+    --csv-oracle "$TRACE_DIR/oracle.csv" > /dev/null
+"$TRACE" export-csv "$TRACE_DIR/clean.jtrc" "$TRACE_DIR/clean.csv"
+cmp "$TRACE_DIR/oracle.csv" "$TRACE_DIR/clean.csv"
+if "$TRACE" record --samples 50000 --out "$TRACE_DIR/torn.jtrc" \
+    --buffer-bytes 65536 --crash-after-blocks 10 > /dev/null 2>&1; then
+    echo "ci.sh: --crash-after-blocks did not kill javelin-trace" >&2
+    exit 1
+fi
+"$TRACE" export-csv "$TRACE_DIR/torn.jtrc" "$TRACE_DIR/torn.csv"
+head -n "$(wc -l < "$TRACE_DIR/torn.csv")" "$TRACE_DIR/oracle.csv" \
+    | cmp - "$TRACE_DIR/torn.csv"
+torn_lines=$(wc -l < "$TRACE_DIR/torn.csv")
+oracle_lines=$(wc -l < "$TRACE_DIR/oracle.csv")
+if [ "$torn_lines" -le 1 ] || [ "$torn_lines" -ge "$oracle_lines" ]; then
+    echo "ci.sh: torn recovery line count wrong:" \
+        "$torn_lines of $oracle_lines" >&2
+    exit 1
+fi
+echo "trace smoke: clean round trip byte-identical, torn tail" \
+    "recovered $torn_lines of $oracle_lines oracle lines"
+
+# --- capture-RSS ceiling: spooled capture must hold flat memory as
+# --- the sample count scales 10x (1M -> 10M samples). The in-memory
+# --- path grows ~40 B per power sample (~400 MB at 10M); the spool
+# --- must stay inside its fixed double-buffer budget, so allow well
+# --- under one in-memory decade of growth.
+trace_rss() {
+    "$TRACE" record --samples "$1" --out "$TRACE_DIR/rss.jtrc" \
+        --print-rss 2>&1 > /dev/null | sed -n 's/.*max_rss_kb=//p'
+}
+rss_1m=$(trace_rss 1000000)
+rss_10m=$(trace_rss 10000000)
+rm -f "$TRACE_DIR/rss.jtrc"
+if [ $((rss_10m - rss_1m)) -gt 65536 ]; then
+    echo "ci.sh: spooled capture RSS grew ${rss_1m}kB -> ${rss_10m}kB" \
+        "over a 10x sample scale" >&2
+    exit 1
+fi
+echo "rss ceiling: 1M samples ${rss_1m}kB, 10M samples ${rss_10m}kB"
+
 # --- dispatch-mode gates: the same suite — including the call-dense
 # --- differentials of tests/test_interp_diff.cc (call_heavy across all
 # --- tiers and heaps) — must hold with the batched interpreter fast
@@ -109,7 +161,8 @@ if [ "${JAVELIN_SKIP_BENCH:-0}" = "1" ]; then
 fi
 
 cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release
-cmake --build build-release -j --target micro_sim --target micro_gc
+cmake --build build-release -j --target micro_sim --target micro_gc \
+    --target micro_trace
 # Three full passes of each suite: every gate below takes the
 # per-benchmark best of the three (compare_bench.py merges them), since
 # a loaded host can depress any single run by well over the 10 %
@@ -119,6 +172,8 @@ for i in 1 2 3; do
         --benchmark_min_time=1 > "BENCH_sim_$i.json"
     ./build-release/bench/micro_gc --benchmark_format=json \
         --benchmark_min_time=1 > "BENCH_gc_$i.json"
+    ./build-release/bench/micro_trace --benchmark_format=json \
+        --benchmark_min_time=1 > "BENCH_trace_$i.json"
 done
 if command -v python3 > /dev/null 2>&1; then
     # Trajectory context (non-gating): speedup over the pre-fast-path
@@ -145,9 +200,29 @@ if command -v python3 > /dev/null 2>&1; then
         --no-default-gates \
         --min-speedup BM_EndToEndCallHeavy.bytecodes_per_sec=1.15 \
         --min-rate BM_EndToEndExperiment.bytecodes_per_sec=50e6
+    # Trace-spool gates (DESIGN.md §10): per-sample spool append cost
+    # and the end-to-end pipeline with power + perf spooling attached.
+    # The 50M floor is the same one the unspooled pipeline carries —
+    # spooling must be free at the experiment level.
+    python3 scripts/compare_bench.py bench/BENCH_trace.baseline.json \
+        BENCH_trace_1.json BENCH_trace_2.json BENCH_trace_3.json \
+        --max-regress 0.10 \
+        --min-rate BM_EndToEndExperimentSpooled.bytecodes_per_sec=50e6
 else
     echo "ci.sh: python3 not found, skipping benchmark comparison" >&2
 fi
+
+# --- bench history: archive one full JSON run of each suite into the
+# --- local javelin-kv result store, keyed by UTC timestamp. The store
+# --- is gitignored — per-host trend data for javelin-kv get/keys, not
+# --- a gate.
+KV=build/src/tools/javelin-kv
+stamp=$(date -u +%Y-%m-%dT%H:%M:%SZ)
+for suite in sim gc trace; do
+    "$KV" put BENCH_HISTORY.kv "bench/$stamp/$suite" \
+        "@BENCH_${suite}_1.json"
+done
+echo "bench history: archived sim/gc/trace under bench/$stamp"
 
 # --- statistical energy gate: the pinned-seed ensemble must show no
 # --- statistically significant energy/EDP regression against the

@@ -33,6 +33,11 @@ benchmarks:
   * BM_CacheAccess/{14,18,24}  items_per_second (the SoA cache model)
   * BM_GcMark / BM_GcEvacuate / BM_GcSweep  items_per_second (the
     three GC phase drains in isolation; see bench/micro_gc.cpp)
+  * BM_TraceCapture         items_per_second (per-sample append cost
+    of the async trace spool; see bench/micro_trace.cpp)
+  * BM_EndToEndExperimentSpooled  bytecodes_per_sec (the end-to-end
+    pipeline with power + perf spooling attached — capture must stay
+    free at the experiment level)
 
 A gate missing from the *baseline* is skipped with a note — older
 committed baselines predate the newer benchmarks — but a gate present
@@ -60,6 +65,8 @@ GATES = [
     ("BM_GcMark", "items_per_second"),
     ("BM_GcEvacuate", "items_per_second"),
     ("BM_GcSweep", "items_per_second"),
+    ("BM_TraceCapture", "items_per_second"),
+    ("BM_EndToEndExperimentSpooled", "bytecodes_per_sec"),
 ]
 
 

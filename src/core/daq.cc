@@ -13,10 +13,19 @@ Daq::Daq(sim::System &system, ComponentPort &port)
 Daq::Daq(sim::System &system, ComponentPort &port, const Config &config)
     : system_(system), port_(port),
       period_(config.period ? config.period : system.spec().daqPeriod),
-      cpuSense_(config.cpuSense), memSense_(config.memSense)
+      cpuSense_(config.cpuSense), memSense_(config.memSense),
+      spool_(config.spool), keepInMemory_(config.keepInMemory)
 {
     JAVELIN_ASSERT(period_ > 0, "DAQ period must be positive");
-    trace_.reserve(config.reserve);
+    JAVELIN_ASSERT(keepInMemory_ || spool_,
+                   "spool-only capture needs a spool");
+    if (spool_)
+        JAVELIN_ASSERT(spool_->kind() == tracefmt::RecordKind::Power,
+                       "DAQ spool must carry power records");
+    // The pre-sizing knob only matters when the trace lives in
+    // memory; spooled capture is bounded by the spool's two buffers.
+    if (keepInMemory_)
+        trace_.reserve(config.reserve);
     refTick_ = system_.cpu().now();
     // Snapshot the energy baseline at attach time: a DAQ connected to a
     // warm system must not attribute pre-attach energy to its first
@@ -66,7 +75,16 @@ Daq::sample(Tick now)
         s.cpuWatts = lastCpuWatts_;
         s.memWatts = lastMemWatts_;
     }
-    trace_.push_back(s);
+    if (keepInMemory_)
+        trace_.push_back(s);
+    if (spool_)
+        spool_->append(s);
+    ++samplesTaken_;
+    // Same term, same order as integrate{Cpu,Mem}Joules over the
+    // trace: the running totals are bit-identical to an end-of-run
+    // integration, and available in spool-only mode.
+    cpuJoules_.add(s.cpuWatts * ticksToSeconds(s.windowTicks));
+    memJoules_.add(s.memWatts * ticksToSeconds(s.windowTicks));
 
     refCpuJoules_ = cpuJ;
     refMemJoules_ = memJ;
@@ -76,13 +94,13 @@ Daq::sample(Tick now)
 double
 Daq::measuredCpuJoules() const
 {
-    return integrateCpuJoules(trace_);
+    return cpuJoules_.value();
 }
 
 double
 Daq::measuredMemJoules() const
 {
-    return integrateMemJoules(trace_);
+    return memJoules_.value();
 }
 
 } // namespace core

@@ -16,8 +16,10 @@
 
 #include "core/component_port.hh"
 #include "core/sense_resistor.hh"
+#include "core/trace_spool.hh"
 #include "core/traces.hh"
 #include "sim/system.hh"
+#include "util/kahan.hh"
 
 namespace javelin {
 namespace core {
@@ -36,8 +38,22 @@ class Daq
         SenseResistor::Config cpuSense;
         /** Memory rail sense channel. */
         SenseResistor::Config memSense;
-        /** Preallocate this many samples. */
+        /**
+         * Preallocate this many samples — honored only in the
+         * in-memory (oracle) mode; along the spooled path capture
+         * memory is bounded by the spool's two block buffers and the
+         * knob is dead.
+         */
         std::size_t reserve = 1 << 16;
+        /**
+         * Asynchronous sink (non-owning): every sample is appended to
+         * this spool as it is taken. With keepInMemory left on this
+         * tees capture (the differential oracle); with it off,
+         * capture runs at flat RSS for arbitrarily long traces.
+         */
+        TraceSpool *spool = nullptr;
+        /** Keep the in-memory PowerTrace (the oracle mode). */
+        bool keepInMemory = true;
     };
 
     Daq(sim::System &system, ComponentPort &port);
@@ -46,7 +62,11 @@ class Daq
     /** Sampling period actually in use. */
     Tick period() const { return period_; }
 
+    /** In-memory trace; empty in spool-only capture mode. */
     const PowerTrace &trace() const { return trace_; }
+
+    /** Samples taken (both modes). */
+    std::uint64_t samplesTaken() const { return samplesTaken_; }
 
     /** Total measured CPU energy: sum of sample power * actual window. */
     double measuredCpuJoules() const;
@@ -63,6 +83,18 @@ class Daq
     SenseResistor cpuSense_;
     SenseResistor memSense_;
     PowerTrace trace_;
+    TraceSpool *spool_ = nullptr;
+    bool keepInMemory_ = true;
+    std::uint64_t samplesTaken_ = 0;
+
+    /**
+     * Running compensated energy integrals, accumulated sample by
+     * sample in the exact order integrateCpuJoules/integrateMemJoules
+     * walk the trace, so measured totals are bit-identical between
+     * the in-memory and spooled capture modes.
+     */
+    NeumaierSum cpuJoules_;
+    NeumaierSum memJoules_;
 
     double refCpuJoules_ = 0.0;
     double refMemJoules_ = 0.0;

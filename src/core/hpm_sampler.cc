@@ -14,10 +14,18 @@ HpmSampler::HpmSampler(sim::System &system, ComponentPort &port,
                        const Config &config)
     : system_(system), port_(port),
       period_(config.period ? config.period : system.spec().hpmPeriod),
-      isrCostCycles_(config.isrCostCycles)
+      isrCostCycles_(config.isrCostCycles), spool_(config.spool),
+      keepInMemory_(config.keepInMemory)
 {
     JAVELIN_ASSERT(period_ > 0, "HPM period must be positive");
-    trace_.reserve(config.reserve);
+    JAVELIN_ASSERT(keepInMemory_ || spool_,
+                   "spool-only capture needs a spool");
+    if (spool_)
+        JAVELIN_ASSERT(spool_->kind() ==
+                           core::tracefmt::RecordKind::Perf,
+                       "HPM spool must carry perf records");
+    if (keepInMemory_)
+        trace_.reserve(config.reserve);
     last_ = system_.counters();
     system_.addPeriodicTask("hpm", period_,
                             [this](Tick now) { sample(now); });
@@ -35,7 +43,11 @@ HpmSampler::sample(Tick now)
     s.tick = now;
     s.component = port_.current();
     s.delta = current - last_;
-    trace_.push_back(s);
+    if (keepInMemory_)
+        trace_.push_back(s);
+    if (spool_)
+        spool_->append(s);
+    ++samplesTaken_;
     last_ = current;
 }
 

@@ -13,6 +13,7 @@
 #define JAVELIN_CORE_HPM_SAMPLER_HH
 
 #include "core/component_port.hh"
+#include "core/trace_spool.hh"
 #include "core/traces.hh"
 #include "sim/system.hh"
 
@@ -29,7 +30,12 @@ class HpmSampler
     {
         /** Sampling period; 0 means "use the platform's OS timer". */
         Tick period = 0;
+        /** Pre-size the in-memory trace; dead on the spooled path. */
         std::size_t reserve = 1 << 12;
+        /** Asynchronous sink (non-owning); see Daq::Config::spool. */
+        TraceSpool *spool = nullptr;
+        /** Keep the in-memory PerfTrace (the oracle mode). */
+        bool keepInMemory = true;
         /**
          * CPU cycles charged per sample for the timer ISR that reads
          * the counters (the measurement infrastructure's own
@@ -44,7 +50,10 @@ class HpmSampler
                const Config &config);
 
     Tick period() const { return period_; }
+    /** In-memory trace; empty in spool-only capture mode. */
     const PerfTrace &trace() const { return trace_; }
+    /** Samples taken (both modes). */
+    std::uint64_t samplesTaken() const { return samplesTaken_; }
 
   private:
     void sample(Tick now);
@@ -54,6 +63,9 @@ class HpmSampler
     Tick period_;
     double isrCostCycles_ = 0.0;
     PerfTrace trace_;
+    TraceSpool *spool_ = nullptr;
+    bool keepInMemory_ = true;
+    std::uint64_t samplesTaken_ = 0;
     sim::PerfCounters last_;
 };
 

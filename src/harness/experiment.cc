@@ -1,6 +1,8 @@
 #include "harness/experiment.hh"
 
 #include <algorithm>
+#include <filesystem>
+#include <memory>
 
 #include "core/energy_accounting.hh"
 #include "util/logging.hh"
@@ -73,14 +75,37 @@ runExperiment(const ExperimentConfig &config, const jvm::Program &program)
     daqCfg.cpuSense.seed = config.seed * 31 + 1;
     daqCfg.memSense.noiseVoltsRms = config.senseNoiseVoltsRms;
     daqCfg.memSense.seed = config.seed * 31 + 2;
+    // Optional async trace capture (tee: the in-memory traces still
+    // feed attribution, the spools persist them without touching the
+    // measured path's results).
+    std::unique_ptr<core::TraceSpool> powerSpool, perfSpool;
+    if (!config.traceSpoolDir.empty()) {
+        std::filesystem::create_directories(config.traceSpoolDir);
+        core::TraceSpool::Config sp;
+        sp.backend = core::TraceSpool::backendFromEnv();
+        sp.path = config.traceSpoolDir + "/" + program.name +
+                  ".power.jtrc";
+        sp.kind = core::tracefmt::RecordKind::Power;
+        powerSpool = std::make_unique<core::TraceSpool>(sp);
+        sp.path = config.traceSpoolDir + "/" + program.name +
+                  ".perf.jtrc";
+        sp.kind = core::tracefmt::RecordKind::Perf;
+        perfSpool = std::make_unique<core::TraceSpool>(sp);
+        daqCfg.spool = powerSpool.get();
+    }
     core::Daq daq(system, vm.port(), daqCfg);
     core::HpmSampler::Config hpmCfg;
     hpmCfg.isrCostCycles = config.hpmIsrCostCycles;
+    hpmCfg.spool = perfSpool.get();
     core::HpmSampler hpm(system, vm.port(), hpmCfg);
     core::GroundTruthAccountant truth(system, vm.port());
 
     res.run = vm.run();
     truth.finalize();
+    if (powerSpool)
+        powerSpool->close();
+    if (perfSpool)
+        perfSpool->close();
     res.counters = system.counters();
 
     res.attribution = core::attribute(daq.trace(), hpm.trace());

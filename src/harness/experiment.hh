@@ -79,6 +79,17 @@ struct ExperimentConfig
     int dvfsPoint = -1;
 
     std::uint64_t seed = 7;
+
+    /**
+     * Host-side trace capture: when non-empty, the run's power and
+     * perf traces are also spooled asynchronously to
+     * <dir>/<benchmark>.power.jtrc and <dir>/<benchmark>.perf.jtrc
+     * (javelin-trace-v1; inspect with the javelin-trace CLI). Pure
+     * host I/O — the simulation, its seeds, and every measured number
+     * are unchanged, which is why this knob is deliberately NOT part
+     * of the scenario serialization or its hash.
+     */
+    std::string traceSpoolDir;
 };
 
 /**

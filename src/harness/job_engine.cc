@@ -14,6 +14,7 @@
 #include "harness/ensemble.hh"
 #include "harness/scenario.hh"
 #include "util/json.hh"
+#include "util/kv_store.hh"
 
 namespace javelin {
 namespace harness {
@@ -390,6 +391,23 @@ JobEngine::run(const std::vector<SweepTask> &tasks,
     report.records.reserve(known.size());
     for (auto &[g, rec] : known)
         report.records.push_back(std::move(rec));
+
+    // --- optional result store: one batched flush for the whole run.
+    if (!config_.resultStorePath.empty()) {
+        try {
+            KvStore store(config_.resultStorePath);
+            for (const auto &rec : report.records) {
+                std::string line = journalLine(rec);
+                line.pop_back(); // strip the journal's newline
+                store.put(rec.key, line);
+            }
+            store.flush();
+            store.close();
+        } catch (const KvError &e) {
+            throw JobEngineError(std::string("result store: ") +
+                                 e.what());
+        }
+    }
     return report;
 }
 

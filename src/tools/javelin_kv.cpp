@@ -1,0 +1,141 @@
+/**
+ * @file
+ * javelin-kv: command-line frontend for javelin-kv-v1 stores
+ * (util/kv_store.hh) — the batched result store that holds sweep
+ * shard records, golden-run captures, and bench history.
+ *
+ *   javelin-kv put STORE KEY VALUE     store a literal value
+ *   javelin-kv put STORE KEY @FILE     store FILE's contents
+ *   javelin-kv put STORE KEY -         store stdin
+ *   javelin-kv get STORE KEY           print the value to stdout
+ *   javelin-kv keys STORE              list keys, one per line
+ *   javelin-kv stat STORE              key and page counts
+ *   javelin-kv compact STORE           reclaim shadowed pages
+ *
+ * Exit status: 0 ok; 1 key not found (get); 2 usage, I/O, or
+ * corruption errors (corruption text names the bad page).
+ */
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "util/kv_store.hh"
+
+using namespace javelin;
+
+namespace {
+
+int
+usage()
+{
+    std::cerr << "usage: javelin-kv put STORE KEY (VALUE | @FILE | -)\n"
+                 "       javelin-kv get STORE KEY\n"
+                 "       javelin-kv keys STORE\n"
+                 "       javelin-kv stat STORE\n"
+                 "       javelin-kv compact STORE\n";
+    return 2;
+}
+
+/** Resolve a put value operand: literal, @FILE, or - for stdin. */
+bool
+readValueOperand(const std::string &operand, std::string &value)
+{
+    if (operand == "-") {
+        std::ostringstream buf;
+        buf << std::cin.rdbuf();
+        value = buf.str();
+        return true;
+    }
+    if (!operand.empty() && operand[0] == '@') {
+        std::ifstream in(operand.substr(1), std::ios::binary);
+        if (!in) {
+            std::cerr << "javelin-kv: cannot open " << operand.substr(1)
+                      << "\n";
+            return false;
+        }
+        std::ostringstream buf;
+        buf << in.rdbuf();
+        value = buf.str();
+        return true;
+    }
+    value = operand;
+    return true;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 3)
+        return usage();
+    const std::string cmd = argv[1];
+    const std::string storePath = argv[2];
+
+    try {
+        if (cmd == "put") {
+            if (argc != 5)
+                return usage();
+            std::string value;
+            if (!readValueOperand(argv[4], value))
+                return 2;
+            KvStore store(storePath);
+            store.put(argv[3], value);
+            const std::size_t writes = store.flush();
+            store.close();
+            std::cerr << "javelin-kv: " << storePath << ": put "
+                      << argv[3] << " (" << value.size() << " bytes, "
+                      << writes << " page writes)\n";
+            return 0;
+        }
+        if (cmd == "get") {
+            if (argc != 4)
+                return usage();
+            KvStore store(storePath);
+            const auto value = store.get(argv[3]);
+            if (!value) {
+                std::cerr << "javelin-kv: " << storePath << ": no key "
+                          << argv[3] << "\n";
+                return 1;
+            }
+            std::cout << *value;
+            return 0;
+        }
+        if (cmd == "keys") {
+            if (argc != 3)
+                return usage();
+            KvStore store(storePath);
+            for (const auto &key : store.keys())
+                std::cout << key << "\n";
+            return 0;
+        }
+        if (cmd == "stat") {
+            if (argc != 3)
+                return usage();
+            KvStore store(storePath);
+            std::cout << "path: " << store.path() << "\n"
+                      << "keys: " << store.keys().size() << "\n"
+                      << "pages: " << store.pageCount() << "\n"
+                      << "bytes: "
+                      << 32 + store.pageCount() * KvStore::kPageBytes
+                      << "\n";
+            return 0;
+        }
+        if (cmd == "compact") {
+            if (argc != 3)
+                return usage();
+            KvStore store(storePath);
+            const std::size_t before = store.pageCount();
+            store.compact();
+            std::cerr << "javelin-kv: " << storePath << ": " << before
+                      << " -> " << store.pageCount() << " pages\n";
+            store.close();
+            return 0;
+        }
+    } catch (const KvError &e) {
+        std::cerr << "javelin-kv: " << e.what() << "\n";
+        return 2;
+    }
+    return usage();
+}

@@ -16,6 +16,9 @@
  *   --shard i/N        run only shards with index % N == i (multi-host
  *                      partitioning; each partition needs its own
  *                      checkpoint file)
+ *   --result-store F   also persist shard records into the
+ *                      javelin-kv-v1 store F (query with javelin-kv;
+ *                      repeated runs accumulate, last-write-wins)
  *   --builtin NAME     use a committed scenario instead of a file
  *   --print-scenario   print the canonical scenario JSON and exit
  *   --list-builtins    list builtin scenario names and exit
@@ -51,6 +54,7 @@ usage()
         << "usage: javelin-sweep SCENARIO.json [--out FILE]\n"
            "                     [--checkpoint FILE] [--resume]\n"
            "                     [--jobs N] [--shard i/N]\n"
+           "                     [--result-store FILE]\n"
            "       javelin-sweep --builtin NAME [same options]\n"
            "       javelin-sweep --builtin NAME --print-scenario\n"
            "       javelin-sweep --list-builtins\n";
@@ -91,6 +95,8 @@ main(int argc, char **argv)
             outPath = argv[++i];
         } else if (arg == "--checkpoint" && i + 1 < argc) {
             cfg.checkpointPath = argv[++i];
+        } else if (arg == "--result-store" && i + 1 < argc) {
+            cfg.resultStorePath = argv[++i];
         } else if (arg == "--resume") {
             cfg.resume = true;
         } else if (arg == "--jobs" && i + 1 < argc) {

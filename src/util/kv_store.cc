@@ -1,0 +1,578 @@
+/**
+ * @file
+ * javelin-kv-v1 on-disk layout (all integers little-endian):
+ *
+ *   superblock (32 bytes at offset 0):
+ *     bytes  0-7   magic "JVLKV1\0\0"
+ *     bytes  8-11  u32 version (1)
+ *     bytes 12-15  u32 endian check 0x01020304
+ *     bytes 16-19  u32 page size (4096)
+ *     bytes 20-23  u32 CRC-32 of bytes 0-19
+ *     bytes 24-31  zero pad
+ *
+ *   pages (4096 bytes each, starting at offset 32). Every page ends
+ *   with a u32 CRC-32 of its first 4092 bytes. Three page kinds:
+ *
+ *     leaf (kind 1):   u32 kind, u32 entryCount, then entryCount
+ *                      packed entries [u32 keyLen, u32 valLen, key,
+ *                      value], zero fill to the CRC.
+ *     extent (kind 2): u32 kind, u32 keyLen, u32 valLen, key, then
+ *                      the first run of value bytes. The value
+ *                      continues across the following continuation
+ *                      pages until valLen bytes are consumed.
+ *     continuation:    4092 raw value bytes (no kind field — the
+ *                      scanner knows how many follow an extent
+ *                      start), then the CRC.
+ *
+ * Recovery mirrors the run journal: only the file's tail may be
+ * torn. A trailing partial page, a CRC failure on the final page, or
+ * a final extent whose continuation pages run past EOF is dropped
+ * (and the file truncated back to the consistent prefix); the same
+ * defect with intact pages after it cannot be an interrupted append
+ * and throws KvError.
+ */
+
+#include "util/kv_store.hh"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <array>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+namespace javelin {
+
+namespace {
+
+constexpr unsigned char kMagic[8] = {'J', 'V', 'L', 'K', 'V',
+                                     '1', '\0', '\0'};
+constexpr std::uint32_t kVersion = 1;
+constexpr std::uint32_t kEndianCheck = 0x01020304;
+constexpr std::size_t kSuperBytes = 32;
+constexpr std::size_t kPageBytes = KvStore::kPageBytes;
+/** Payload bytes per page (everything before the trailing CRC). */
+constexpr std::size_t kPageDataBytes = kPageBytes - 4;
+constexpr std::size_t kLeafHeaderBytes = 8;
+constexpr std::size_t kLeafCapacity = kPageDataBytes - kLeafHeaderBytes;
+constexpr std::size_t kExtentHeaderBytes = 12;
+constexpr std::uint32_t kKindLeaf = 1;
+constexpr std::uint32_t kKindExtent = 2;
+
+std::uint32_t
+crc32(const unsigned char *data, std::size_t len,
+      std::uint32_t seed = 0)
+{
+    static const auto table = [] {
+        std::array<std::uint32_t, 256> t{};
+        for (std::uint32_t i = 0; i < 256; ++i) {
+            std::uint32_t c = i;
+            for (int k = 0; k < 8; ++k)
+                c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+            t[i] = c;
+        }
+        return t;
+    }();
+    std::uint32_t crc = ~seed;
+    for (std::size_t i = 0; i < len; ++i)
+        crc = table[(crc ^ data[i]) & 0xFF] ^ (crc >> 8);
+    return ~crc;
+}
+
+void
+putU32(unsigned char *p, std::uint32_t v)
+{
+    p[0] = static_cast<unsigned char>(v);
+    p[1] = static_cast<unsigned char>(v >> 8);
+    p[2] = static_cast<unsigned char>(v >> 16);
+    p[3] = static_cast<unsigned char>(v >> 24);
+}
+
+std::uint32_t
+getU32(const unsigned char *p)
+{
+    return static_cast<std::uint32_t>(p[0]) |
+           static_cast<std::uint32_t>(p[1]) << 8 |
+           static_cast<std::uint32_t>(p[2]) << 16 |
+           static_cast<std::uint32_t>(p[3]) << 24;
+}
+
+void
+sealPage(unsigned char *page)
+{
+    putU32(page + kPageDataBytes, crc32(page, kPageDataBytes));
+}
+
+bool
+pageIntact(const unsigned char *page)
+{
+    return getU32(page + kPageDataBytes) ==
+           crc32(page, kPageDataBytes);
+}
+
+[[noreturn]] void
+throwErrno(const std::string &path, const char *what)
+{
+    throw KvError("kv store " + path + ": " + what + ": " +
+                  std::strerror(errno));
+}
+
+/** Continuation pages needed after the extent-start page. */
+std::size_t
+extentContPages(std::size_t keyLen, std::size_t valLen)
+{
+    const std::size_t firstRun =
+        kPageDataBytes - kExtentHeaderBytes - keyLen;
+    if (valLen <= firstRun)
+        return 0;
+    const std::size_t rest = valLen - firstRun;
+    return (rest + kPageDataBytes - 1) / kPageDataBytes;
+}
+
+} // namespace
+
+KvStore::KvStore(const std::string &path) : path_(path)
+{
+    fd_ = ::open(path.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
+    if (fd_ < 0)
+        throwErrno(path_, "open");
+    load();
+}
+
+KvStore::~KvStore()
+{
+    try {
+        close();
+    } catch (const KvError &) {
+        // Destructors must not throw; close() explicitly to observe
+        // flush failures.
+    }
+}
+
+void
+KvStore::load()
+{
+    const off_t end = ::lseek(fd_, 0, SEEK_END);
+    if (end < 0)
+        throwErrno(path_, "lseek");
+    const auto fileBytes = static_cast<std::size_t>(end);
+
+    unsigned char super[kSuperBytes] = {};
+    if (fileBytes < kSuperBytes) {
+        // Empty store, or a header torn by a crash during creation:
+        // either way the whole tail drops and we start fresh.
+        std::memcpy(super, kMagic, sizeof kMagic);
+        putU32(super + 8, kVersion);
+        putU32(super + 12, kEndianCheck);
+        putU32(super + 16, static_cast<std::uint32_t>(kPageBytes));
+        putU32(super + 20, crc32(super, 20));
+        if (::pwrite(fd_, super, kSuperBytes, 0) !=
+            static_cast<ssize_t>(kSuperBytes))
+            throwErrno(path_, "write superblock");
+        if (::ftruncate(fd_, kSuperBytes) != 0)
+            throwErrno(path_, "truncate");
+        pageCount_ = 0;
+        return;
+    }
+
+    if (::pread(fd_, super, kSuperBytes, 0) !=
+        static_cast<ssize_t>(kSuperBytes))
+        throwErrno(path_, "read superblock");
+    if (std::memcmp(super, kMagic, sizeof kMagic) != 0)
+        throw KvError("kv store " + path_ + ": bad magic");
+    if (getU32(super + 20) != crc32(super, 20))
+        throw KvError("kv store " + path_ + ": superblock CRC mismatch");
+    if (getU32(super + 8) != kVersion)
+        throw KvError("kv store " + path_ + ": unsupported version " +
+                      std::to_string(getU32(super + 8)));
+    if (getU32(super + 12) != kEndianCheck)
+        throw KvError("kv store " + path_ +
+                      ": written on an incompatible-endian host");
+    if (getU32(super + 16) != kPageBytes)
+        throw KvError("kv store " + path_ + ": page size mismatch");
+
+    // A trailing partial page can only be an interrupted append.
+    const std::size_t fullPages = (fileBytes - kSuperBytes) / kPageBytes;
+    bool torn = (fileBytes - kSuperBytes) % kPageBytes != 0;
+
+    std::vector<unsigned char> page(kPageBytes);
+    std::size_t i = 0;
+    while (i < fullPages) {
+        const off_t off =
+            static_cast<off_t>(kSuperBytes + i * kPageBytes);
+        if (::pread(fd_, page.data(), kPageBytes, off) !=
+            static_cast<ssize_t>(kPageBytes))
+            throwErrno(path_, "read page");
+        if (!pageIntact(page.data())) {
+            if (i + 1 == fullPages) {
+                torn = true;
+                break;
+            }
+            throw KvError("kv store " + path_ + ": page " +
+                          std::to_string(i) + " CRC mismatch");
+        }
+
+        const std::uint32_t kind = getU32(page.data());
+        if (kind == kKindLeaf) {
+            const std::uint32_t n = getU32(page.data() + 4);
+            std::size_t pos = kLeafHeaderBytes;
+            for (std::uint32_t e = 0; e < n; ++e) {
+                if (pos + 8 > kPageDataBytes)
+                    throw KvError("kv store " + path_ + ": page " +
+                                  std::to_string(i) +
+                                  " leaf entry overruns page");
+                const std::uint32_t keyLen = getU32(page.data() + pos);
+                const std::uint32_t valLen =
+                    getU32(page.data() + pos + 4);
+                if (pos + 8 + keyLen + valLen > kPageDataBytes)
+                    throw KvError("kv store " + path_ + ": page " +
+                                  std::to_string(i) +
+                                  " leaf entry overruns page");
+                std::string key(
+                    reinterpret_cast<const char *>(page.data() + pos +
+                                                   8),
+                    keyLen);
+                Location loc;
+                loc.page = i;
+                loc.offset = static_cast<std::uint32_t>(pos);
+                loc.valueBytes = valLen;
+                loc.extent = false;
+                index_[std::move(key)] = loc;
+                pos += 8 + keyLen + valLen;
+            }
+            ++i;
+        } else if (kind == kKindExtent) {
+            const std::uint32_t keyLen = getU32(page.data() + 4);
+            const std::uint32_t valLen = getU32(page.data() + 8);
+            if (kExtentHeaderBytes + keyLen > kPageDataBytes)
+                throw KvError("kv store " + path_ + ": page " +
+                              std::to_string(i) +
+                              " extent key overruns page");
+            const std::size_t cont = extentContPages(keyLen, valLen);
+            if (i + 1 + cont > fullPages) {
+                // Extent runs past EOF: an interrupted append by
+                // construction (nothing can follow it).
+                torn = true;
+                break;
+            }
+            // Verify the continuation pages now so corruption is
+            // caught at open, matching the journal's fail-fast rule.
+            bool contTorn = false;
+            for (std::size_t c = 0; c < cont; ++c) {
+                std::vector<unsigned char> cp(kPageBytes);
+                const off_t coff = static_cast<off_t>(
+                    kSuperBytes + (i + 1 + c) * kPageBytes);
+                if (::pread(fd_, cp.data(), kPageBytes, coff) !=
+                    static_cast<ssize_t>(kPageBytes))
+                    throwErrno(path_, "read page");
+                if (!pageIntact(cp.data())) {
+                    if (i + 1 + cont == fullPages) {
+                        contTorn = true;
+                        break;
+                    }
+                    throw KvError("kv store " + path_ + ": page " +
+                                  std::to_string(i + 1 + c) +
+                                  " CRC mismatch");
+                }
+            }
+            if (contTorn) {
+                torn = true;
+                break;
+            }
+            std::string key(
+                reinterpret_cast<const char *>(page.data() +
+                                               kExtentHeaderBytes),
+                keyLen);
+            Location loc;
+            loc.page = i;
+            loc.offset = 0;
+            loc.valueBytes = valLen;
+            loc.extent = true;
+            index_[std::move(key)] = loc;
+            i += 1 + cont;
+        } else {
+            // A CRC-intact page with an unknown kind was written
+            // whole; that is corruption (or a future format), never
+            // a tear.
+            throw KvError("kv store " + path_ + ": page " +
+                          std::to_string(i) + " has unknown kind " +
+                          std::to_string(kind));
+        }
+    }
+    pageCount_ = i;
+
+    if (torn) {
+        // Drop the torn tail so future appends never interleave with
+        // stale half-written pages.
+        if (::ftruncate(fd_, static_cast<off_t>(
+                                 kSuperBytes +
+                                 pageCount_ * kPageBytes)) != 0)
+            throwErrno(path_, "truncate torn tail");
+    }
+}
+
+void
+KvStore::put(const std::string &key, const std::string &value)
+{
+    if (closed_)
+        throw KvError("kv store " + path_ + ": put after close");
+    if (key.empty())
+        throw KvError("kv store " + path_ + ": empty key");
+    if (key.size() > kLeafCapacity - 8)
+        throw KvError("kv store " + path_ + ": key too large (" +
+                      std::to_string(key.size()) + " bytes)");
+    pending_[key] = value;
+}
+
+std::optional<std::string>
+KvStore::get(const std::string &key) const
+{
+    if (const auto p = pending_.find(key); p != pending_.end())
+        return p->second;
+    if (const auto it = index_.find(key); it != index_.end())
+        return readValue(it->second);
+    return std::nullopt;
+}
+
+bool
+KvStore::contains(const std::string &key) const
+{
+    return pending_.count(key) != 0 || index_.count(key) != 0;
+}
+
+std::vector<std::string>
+KvStore::keys() const
+{
+    std::vector<std::string> out;
+    out.reserve(pending_.size() + index_.size());
+    for (const auto &[k, v] : pending_)
+        out.push_back(k);
+    for (const auto &[k, loc] : index_)
+        if (pending_.count(k) == 0)
+            out.push_back(k);
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+std::string
+KvStore::readValue(const Location &loc) const
+{
+    std::vector<unsigned char> page(kPageBytes);
+    const off_t off =
+        static_cast<off_t>(kSuperBytes + loc.page * kPageBytes);
+    if (::pread(fd_, page.data(), kPageBytes, off) !=
+        static_cast<ssize_t>(kPageBytes))
+        throwErrno(path_, "read page");
+    if (!pageIntact(page.data()))
+        throw KvError("kv store " + path_ + ": page " +
+                      std::to_string(loc.page) +
+                      " CRC mismatch on read");
+
+    if (!loc.extent) {
+        const std::uint32_t keyLen = getU32(page.data() + loc.offset);
+        const std::size_t valueOff = loc.offset + 8 + keyLen;
+        return std::string(
+            reinterpret_cast<const char *>(page.data() + valueOff),
+            loc.valueBytes);
+    }
+
+    const std::uint32_t keyLen = getU32(page.data() + 4);
+    std::string out;
+    out.reserve(loc.valueBytes);
+    const std::size_t firstRun =
+        std::min<std::size_t>(loc.valueBytes,
+                              kPageDataBytes - kExtentHeaderBytes -
+                                  keyLen);
+    out.append(reinterpret_cast<const char *>(
+                   page.data() + kExtentHeaderBytes + keyLen),
+               firstRun);
+    std::uint64_t pageIdx = loc.page + 1;
+    while (out.size() < loc.valueBytes) {
+        const off_t coff =
+            static_cast<off_t>(kSuperBytes + pageIdx * kPageBytes);
+        if (::pread(fd_, page.data(), kPageBytes, coff) !=
+            static_cast<ssize_t>(kPageBytes))
+            throwErrno(path_, "read page");
+        if (!pageIntact(page.data()))
+            throw KvError("kv store " + path_ + ": page " +
+                          std::to_string(pageIdx) +
+                          " CRC mismatch on read");
+        const std::size_t take =
+            std::min<std::size_t>(loc.valueBytes - out.size(),
+                                  kPageDataBytes);
+        out.append(reinterpret_cast<const char *>(page.data()), take);
+        ++pageIdx;
+    }
+    return out;
+}
+
+void
+KvStore::writePage(std::uint64_t pageIndex, const unsigned char *page)
+{
+    const off_t off =
+        static_cast<off_t>(kSuperBytes + pageIndex * kPageBytes);
+    ssize_t done = 0;
+    while (done < static_cast<ssize_t>(kPageBytes)) {
+        const ssize_t n = ::pwrite(fd_, page + done, kPageBytes - done,
+                                   off + done);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            throwErrno(path_, "write page");
+        }
+        done += n;
+    }
+    ++pageWrites_;
+}
+
+std::size_t
+KvStore::flush()
+{
+    if (closed_)
+        throw KvError("kv store " + path_ + ": flush after close");
+    if (pending_.empty())
+        return 0;
+
+    const std::size_t writesBefore = pageWrites_;
+    std::vector<unsigned char> page(kPageBytes, 0);
+    std::uint32_t leafEntries = 0;
+    std::size_t leafPos = kLeafHeaderBytes;
+    // Deferred index updates for entries on the open leaf page: the
+    // page index is only final once the page seals (extents emitted
+    // mid-leaf would otherwise shift it).
+    std::vector<std::pair<std::string, Location>> leafLocs;
+
+    const auto sealLeaf = [&] {
+        if (leafEntries == 0)
+            return;
+        putU32(page.data(), kKindLeaf);
+        putU32(page.data() + 4, leafEntries);
+        std::memset(page.data() + leafPos, 0, kPageDataBytes - leafPos);
+        sealPage(page.data());
+        writePage(pageCount_, page.data());
+        for (auto &[k, loc] : leafLocs) {
+            loc.page = pageCount_;
+            index_[k] = loc;
+        }
+        ++pageCount_;
+        leafLocs.clear();
+        leafEntries = 0;
+        leafPos = kLeafHeaderBytes;
+    };
+
+    for (const auto &[key, value] : pending_) {
+        const std::size_t entryBytes = 8 + key.size() + value.size();
+        if (entryBytes <= kLeafCapacity) {
+            if (leafPos + entryBytes > kPageDataBytes)
+                sealLeaf();
+            putU32(page.data() + leafPos,
+                   static_cast<std::uint32_t>(key.size()));
+            putU32(page.data() + leafPos + 4,
+                   static_cast<std::uint32_t>(value.size()));
+            std::memcpy(page.data() + leafPos + 8, key.data(),
+                        key.size());
+            std::memcpy(page.data() + leafPos + 8 + key.size(),
+                        value.data(), value.size());
+            Location loc;
+            loc.offset = static_cast<std::uint32_t>(leafPos);
+            loc.valueBytes = static_cast<std::uint32_t>(value.size());
+            loc.extent = false;
+            leafLocs.emplace_back(key, loc);
+            leafPos += entryBytes;
+            ++leafEntries;
+            continue;
+        }
+
+        // Oversized value: flush the open leaf so the extent's pages
+        // stay contiguous, then emit start + continuation pages.
+        sealLeaf();
+        std::vector<unsigned char> ep(kPageBytes, 0);
+        putU32(ep.data(), kKindExtent);
+        putU32(ep.data() + 4, static_cast<std::uint32_t>(key.size()));
+        putU32(ep.data() + 8, static_cast<std::uint32_t>(value.size()));
+        std::memcpy(ep.data() + kExtentHeaderBytes, key.data(),
+                    key.size());
+        const std::size_t firstRun =
+            std::min(value.size(),
+                     kPageDataBytes - kExtentHeaderBytes - key.size());
+        std::memcpy(ep.data() + kExtentHeaderBytes + key.size(),
+                    value.data(), firstRun);
+        sealPage(ep.data());
+        const std::uint64_t startPage = pageCount_;
+        writePage(pageCount_++, ep.data());
+
+        std::size_t written = firstRun;
+        while (written < value.size()) {
+            std::fill(ep.begin(), ep.end(), 0);
+            const std::size_t take =
+                std::min(value.size() - written, kPageDataBytes);
+            std::memcpy(ep.data(), value.data() + written, take);
+            sealPage(ep.data());
+            writePage(pageCount_++, ep.data());
+            written += take;
+        }
+
+        Location loc;
+        loc.page = startPage;
+        loc.offset = 0;
+        loc.valueBytes = static_cast<std::uint32_t>(value.size());
+        loc.extent = true;
+        index_[key] = loc;
+    }
+    sealLeaf();
+    pending_.clear();
+    return pageWrites_ - writesBefore;
+}
+
+void
+KvStore::compact()
+{
+    flush();
+    // Rewrite live entries into a fresh store, then swap it in. Keys
+    // are re-put one at a time so peak memory stays one value, not
+    // the whole store.
+    const std::string tmpPath = path_ + ".compact";
+    {
+        ::unlink(tmpPath.c_str());
+        KvStore tmp(tmpPath);
+        std::size_t pendingBytes = 0;
+        for (const auto &[key, loc] : index_) {
+            tmp.put(key, readValue(loc));
+            pendingBytes += key.size() + loc.valueBytes;
+            // Flush in page-sized batches (not per key, which would
+            // defeat the merging; not all at once, which would hold
+            // the whole store in memory).
+            if (pendingBytes >= 1 << 20) {
+                tmp.flush();
+                pendingBytes = 0;
+            }
+        }
+        tmp.close();
+    }
+    ::close(fd_);
+    if (::rename(tmpPath.c_str(), path_.c_str()) != 0)
+        throwErrno(path_, "rename compacted store");
+    fd_ = ::open(path_.c_str(), O_RDWR | O_CLOEXEC);
+    if (fd_ < 0)
+        throwErrno(path_, "reopen compacted store");
+    index_.clear();
+    pageCount_ = 0;
+    load();
+}
+
+void
+KvStore::close()
+{
+    if (closed_)
+        return;
+    flush();
+    closed_ = true;
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+}
+
+} // namespace javelin

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * A small batched key-value store (javelin-kv-v1, DESIGN.md §10).
+ *
+ * Javelin's result artifacts — sweep shard records, golden-run
+ * captures, bench history sidecars — are many small writes that used
+ * to land as loose files or not persist at all. KvStore turns them
+ * into one queryable file with FlashX simple_KV_store's batching
+ * idiom: put() only queues a request; flush() merges every pending
+ * request onto 4 KiB pages — all requests landing on the same page
+ * become ONE page image — and issues exactly one pwrite per dirty
+ * page. Values larger than a page span an extent of contiguous pages
+ * with a single start header.
+ *
+ * The file is append-only at page granularity: an update never
+ * rewrites an old page, it appends a new one, and the loader keeps
+ * the last occurrence of each key in file order. That makes crash
+ * behavior simple and journal-like: a torn final page (its CRC fails
+ * or its extent runs past EOF) is dropped on open; a bad page
+ * anywhere earlier is corruption and open() throws KvError. Dead
+ * space from shadowed updates is reclaimed by compact().
+ *
+ * Values are kept on disk, not in memory: the open-time scan builds
+ * only a key -> page-location index, so a multi-gigabyte store costs
+ * memory proportional to its key count.
+ */
+
+#ifndef JAVELIN_UTIL_KV_STORE_HH
+#define JAVELIN_UTIL_KV_STORE_HH
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace javelin {
+
+/** Corruption, I/O failure, or misuse of a javelin-kv-v1 store. */
+struct KvError : std::runtime_error
+{
+    using std::runtime_error::runtime_error;
+};
+
+class KvStore
+{
+  public:
+    static constexpr std::size_t kPageBytes = 4096;
+
+    /**
+     * Open a store, creating the file if it does not exist. Scans
+     * existing pages to rebuild the key index; drops a torn final
+     * page; throws KvError on corruption anywhere earlier.
+     */
+    explicit KvStore(const std::string &path);
+    ~KvStore();
+
+    KvStore(const KvStore &) = delete;
+    KvStore &operator=(const KvStore &) = delete;
+
+    /**
+     * Queue a put. Nothing reaches the file until flush(); a repeated
+     * key overwrites the queued value (requests merge before paging).
+     */
+    void put(const std::string &key, const std::string &value);
+
+    /**
+     * Read a value: pending requests first, then the on-disk index.
+     * std::nullopt for an absent key.
+     */
+    std::optional<std::string> get(const std::string &key) const;
+
+    /** True if the key exists (pending or flushed). */
+    bool contains(const std::string &key) const;
+
+    /** Sorted union of pending and flushed keys. */
+    std::vector<std::string> keys() const;
+
+    /**
+     * Write every pending request: requests are packed onto pages
+     * (many small entries share one page; big values get an extent)
+     * and each new page is written with one pwrite. Returns the
+     * number of page writes issued.
+     */
+    std::size_t flush();
+
+    /**
+     * Rewrite the store keeping only live entries (drops the dead
+     * space shadowed updates leave behind). Implies flush().
+     */
+    void compact();
+
+    /** flush() + close the file. Idempotent; the destructor calls it. */
+    void close();
+
+    const std::string &path() const { return path_; }
+    /** Pending (unflushed) request count. */
+    std::size_t pendingCount() const { return pending_.size(); }
+    /** Total page writes issued over this handle's lifetime. */
+    std::size_t pageWrites() const { return pageWrites_; }
+    /** Pages currently in the file. */
+    std::size_t pageCount() const { return pageCount_; }
+
+  private:
+    struct Location
+    {
+        /** Page index of the leaf entry or extent start. */
+        std::uint64_t page = 0;
+        /** Offset of the entry inside the page (leaf) or 0 (extent). */
+        std::uint32_t offset = 0;
+        std::uint32_t valueBytes = 0;
+        bool extent = false;
+    };
+
+    void load();
+    std::string readValue(const Location &loc) const;
+    void writePage(std::uint64_t pageIndex,
+                   const unsigned char *page);
+
+    std::string path_;
+    int fd_ = -1;
+    bool closed_ = false;
+    std::uint64_t pageCount_ = 0;
+    std::size_t pageWrites_ = 0;
+    std::map<std::string, Location> index_;
+    std::map<std::string, std::string> pending_;
+};
+
+} // namespace javelin
+
+#endif // JAVELIN_UTIL_KV_STORE_HH

@@ -62,6 +62,75 @@ TEST(TraceIo, PowerRoundTrip)
     }
 }
 
+TEST(TraceIo, PowerRoundTripIsExact)
+{
+    // Values with no finite decimal expansion: the writer emits the
+    // shortest string that parses back to the same bits, so the
+    // round trip must be EXACT equality, not near-equality.
+    PowerTrace original;
+    for (int i = 1; i <= 200; ++i) {
+        PowerSample s;
+        s.tick = static_cast<Tick>(i) * 40 * kTicksPerMicro;
+        s.windowTicks = 40 * kTicksPerMicro;
+        s.cpuWatts = 1.0 / 3.0 * i + 0.1;
+        s.memWatts = 2.0 / 7.0 * i;
+        s.component = static_cast<ComponentId>(i % kNumComponents);
+        original.push_back(s);
+    }
+    std::stringstream ss;
+    writePowerCsv(ss, original);
+    const PowerTrace back = readPowerCsv(ss);
+    ASSERT_EQ(back.size(), original.size());
+    for (std::size_t i = 0; i < back.size(); ++i) {
+        EXPECT_EQ(back[i].tick, original[i].tick);
+        EXPECT_EQ(back[i].windowTicks, original[i].windowTicks);
+        EXPECT_EQ(back[i].cpuWatts, original[i].cpuWatts)
+            << "sample " << i;
+        EXPECT_EQ(back[i].memWatts, original[i].memWatts)
+            << "sample " << i;
+        EXPECT_EQ(back[i].component, original[i].component);
+    }
+
+    // Write -> read -> write: byte-stable the second time around.
+    std::stringstream ss2;
+    writePowerCsv(ss2, back);
+    std::stringstream ss3;
+    writePowerCsv(ss3, original);
+    EXPECT_EQ(ss2.str(), ss3.str());
+}
+
+TEST(TraceIo, MalformedNumericFieldDiesWithLineNumber)
+{
+    // Garbage in the tick column on data line 3 (file line 4): the
+    // loader must die with the line number and the offending field,
+    // not escape as an uncaught std::invalid_argument.
+    std::istringstream is(
+        "tick,us,window_ticks,cpu_watts,mem_watts,component\n"
+        "1,0.1,40,2,3,App\n"
+        "2,0.2,40,2,3,App\n"
+        "oops,0.3,40,2,3,App\n");
+    EXPECT_EXIT(readPowerCsv(is), testing::ExitedWithCode(1),
+                "power CSV line 4: malformed tick field 'oops'");
+}
+
+TEST(TraceIo, MalformedDoubleFieldDiesWithLineNumber)
+{
+    std::istringstream is(
+        "tick,us,window_ticks,cpu_watts,mem_watts,component\n"
+        "1,0.1,40,2.x5,3,App\n");
+    EXPECT_EXIT(readPowerCsv(is), testing::ExitedWithCode(1),
+                "power CSV line 2: malformed cpu watts field '2.x5'");
+}
+
+TEST(TraceIo, MissingFieldDiesWithLineNumber)
+{
+    std::istringstream is(
+        "tick,us,window_ticks,cpu_watts,mem_watts,component\n"
+        "1,0.1,40\n");
+    EXPECT_EXIT(readPowerCsv(is), testing::ExitedWithCode(1),
+                "power CSV line 2: missing cpu watts field");
+}
+
 TEST(TraceIo, EmptyInputYieldsEmptyTrace)
 {
     std::istringstream is("");
