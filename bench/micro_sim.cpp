@@ -225,6 +225,37 @@ BM_EndToEndMutatorHeavy(benchmark::State &state)
                            benchmark::Counter::kIsRate);
 }
 
+void
+BM_EndToEndMultiTenant(benchmark::State &state)
+{
+    // Co-tenancy pipeline (DESIGN.md §11): two tenants interleaved at
+    // quantum granularity on one platform, each serving Poisson
+    // request traffic. Exercises the slice scheduler, the shared-port
+    // per-tenant attribution and the arrival machinery on top of the
+    // classic stack; the context_switches counter makes scheduler-
+    // cadence drift visible alongside host throughput.
+    std::uint64_t total_bytecodes = 0;
+    for (auto _ : state) {
+        harness::ExperimentConfig cfg;
+        cfg.dataset = workloads::DatasetScale::Small;
+        cfg.heapNominalMB = 32;
+        cfg.tenants = 2;
+        cfg.requestsPerTenant = 12;
+        cfg.requestRateHz = 3000.0;
+        const auto res = harness::runExperiment(
+            cfg, workloads::benchmark("_202_jess"));
+        benchmark::DoNotOptimize(res.cotenancy.platformCpuJoules);
+        total_bytecodes += res.run.bytecodesExecuted;
+        state.counters["context_switches"] =
+            static_cast<double>(res.cotenancy.contextSwitches);
+        state.counters["bytecodes"] =
+            static_cast<double>(res.run.bytecodesExecuted);
+    }
+    state.counters["bytecodes_per_sec"] =
+        benchmark::Counter(static_cast<double>(total_bytecodes),
+                           benchmark::Counter::kIsRate);
+}
+
 } // namespace
 
 BENCHMARK(BM_CacheAccess)->Arg(14)->Arg(18)->Arg(24);
@@ -236,5 +267,6 @@ BENCHMARK(BM_EndToEndExperiment)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_EndToEndCallHeavy)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_EndToEndGcHeavy)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_EndToEndMutatorHeavy)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_EndToEndMultiTenant)->Unit(benchmark::kMillisecond);
 
 BENCHMARK_MAIN();

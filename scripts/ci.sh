@@ -79,6 +79,32 @@ fi
 echo "kill-and-resume smoke: report byte-identical," \
     "restored=$restored executed=$executed total=$total"
 
+# --- co-tenancy smoke (DESIGN.md §11): the builtin multi-tenant sweep
+# --- must produce byte-identical reports across worker counts (the
+# --- interleaving is a function of simulated state only, so the
+# --- host-side job schedule must not leak into a single number) and
+# --- across a SIGKILL crash + journal resume.
+COT_DIR=build/cotenancy-smoke
+rm -rf "$COT_DIR"
+mkdir -p "$COT_DIR"
+"$SWEEP" --builtin cotenancy-interference --jobs 2 \
+    --out "$COT_DIR/j2.json" 2> /dev/null
+"$SWEEP" --builtin cotenancy-interference --jobs 1 \
+    --out "$COT_DIR/j1.json" 2> /dev/null
+cmp "$COT_DIR/j1.json" "$COT_DIR/j2.json"
+if JAVELIN_JOB_CRASH_AFTER=4 "$SWEEP" --builtin cotenancy-interference \
+    --jobs 2 --checkpoint "$COT_DIR/journal.jsonl" \
+    --out "$COT_DIR/crashed.json" 2> /dev/null; then
+    echo "ci.sh: crash injection did not kill the co-tenancy sweep" >&2
+    exit 1
+fi
+"$SWEEP" --builtin cotenancy-interference --jobs 2 \
+    --checkpoint "$COT_DIR/journal.jsonl" --resume \
+    --out "$COT_DIR/resumed.json" 2> /dev/null
+cmp "$COT_DIR/j2.json" "$COT_DIR/resumed.json"
+echo "co-tenancy smoke: jobs-1, jobs-2 and crash-resumed reports" \
+    "byte-identical"
+
 # --- trace-spool smoke: record a synthetic power trace alongside an
 # --- in-memory CSV oracle and require the spooled binary file to
 # --- decode byte-identically; then SIGKILL the recorder mid-spool via
@@ -187,6 +213,13 @@ if command -v python3 > /dev/null 2>&1; then
         --max-regress 0.10
     python3 scripts/compare_bench.py bench/BENCH_gc.baseline.json \
         BENCH_gc_1.json BENCH_gc_2.json BENCH_gc_3.json \
+        --max-regress 0.10
+    # Co-tenancy gate (DESIGN.md §11): BM_EndToEndMultiTenant against
+    # its own committed baseline (the other micro_sim gates are in
+    # BENCH_sim.baseline.json, which predates the benchmark and is
+    # deliberately left untouched).
+    python3 scripts/compare_bench.py bench/BENCH_cotenancy.baseline.json \
+        BENCH_sim_1.json BENCH_sim_2.json BENCH_sim_3.json \
         --max-regress 0.10
     # Tentpole perf targets (DESIGN.md §5g), over the same three runs:
     # BM_EndToEndCallHeavy against its committed pre-trace-v2 capture

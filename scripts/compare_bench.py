@@ -38,6 +38,10 @@ benchmarks:
   * BM_EndToEndExperimentSpooled  bytecodes_per_sec (the end-to-end
     pipeline with power + perf spooling attached — capture must stay
     free at the experiment level)
+  * BM_EndToEndMultiTenant  bytecodes_per_sec (two co-tenant VMs
+    interleaved at quantum granularity serving Poisson traffic; the
+    slice scheduler + per-tenant attribution hot path — gated against
+    bench/BENCH_cotenancy.baseline.json)
 
 A gate missing from the *baseline* is skipped with a note — older
 committed baselines predate the newer benchmarks — but a gate present
@@ -67,6 +71,7 @@ GATES = [
     ("BM_GcSweep", "items_per_second"),
     ("BM_TraceCapture", "items_per_second"),
     ("BM_EndToEndExperimentSpooled", "bytecodes_per_sec"),
+    ("BM_EndToEndMultiTenant", "bytecodes_per_sec"),
 ]
 
 

@@ -42,6 +42,8 @@ Daq::Daq(sim::System &system, ComponentPort &port, const Config &config)
 void
 Daq::sample(Tick now)
 {
+    if (stopped_)
+        return;
     system_.syncPower();
     const Tick actual = system_.cpu().now();
 
@@ -89,6 +91,21 @@ Daq::sample(Tick now)
     refCpuJoules_ = cpuJ;
     refMemJoules_ = memJ;
     refTick_ = actual;
+}
+
+void
+Daq::stop()
+{
+    if (stopped_)
+        return;
+    // The final partial window [refTick_, now) goes through the exact
+    // periodic-sample path, so its term lands in the running Neumaier
+    // totals in the same order an on-schedule sample's would. A stop
+    // that lands exactly on a sample boundary has nothing to flush.
+    system_.syncPower();
+    if (system_.cpu().now() > refTick_)
+        sample(system_.cpu().now());
+    stopped_ = true;
 }
 
 double

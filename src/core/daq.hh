@@ -74,6 +74,18 @@ class Daq
     /** Total measured memory energy. */
     double measuredMemJoules() const;
 
+    /**
+     * Detach: flush the in-progress partial window as one final sample
+     * covering [last sample, now), so the measured totals equal the
+     * exactly-integrated energy of the whole attachment interval. On
+     * ms-scale runs the truncated final window used to be a visible
+     * fraction of the total. Idempotent; periodic firings after stop()
+     * are ignored. The harness calls this once before attribution.
+     */
+    void stop();
+
+    bool stopped() const { return stopped_; }
+
   private:
     void sample(Tick now);
 
@@ -85,6 +97,7 @@ class Daq
     PowerTrace trace_;
     TraceSpool *spool_ = nullptr;
     bool keepInMemory_ = true;
+    bool stopped_ = false;
     std::uint64_t samplesTaken_ = 0;
 
     /**

@@ -32,8 +32,31 @@ HpmSampler::HpmSampler(sim::System &system, ComponentPort &port,
 }
 
 void
+HpmSampler::stop()
+{
+    if (stopped_)
+        return;
+    stopped_ = true;
+    const sim::PerfCounters current = system_.counters();
+    if (current.cycles == last_.cycles)
+        return; // on-boundary stop: nothing accumulated to flush
+    PerfSample s;
+    s.tick = system_.cpu().now();
+    s.component = port_.current();
+    s.delta = current - last_;
+    if (keepInMemory_)
+        trace_.push_back(s);
+    if (spool_)
+        spool_->append(s);
+    ++samplesTaken_;
+    last_ = current;
+}
+
+void
 HpmSampler::sample(Tick now)
 {
+    if (stopped_)
+        return;
     // Charge the ISR before reading: the counter snapshot then includes
     // the sampler's own work, exactly as a real OS-timer handler would.
     if (isrCostCycles_ > 0.0)

@@ -55,6 +55,15 @@ class HpmSampler
     /** Samples taken (both modes). */
     std::uint64_t samplesTaken() const { return samplesTaken_; }
 
+    /**
+     * Detach: flush the counter delta accumulated since the last
+     * periodic sample as one final sample, so per-component counter
+     * attribution totals conserve the run's full counter deltas (the
+     * perf-side analogue of Daq::stop()). The flush is a harness read,
+     * not a timer interrupt, so no ISR cost is charged. Idempotent.
+     */
+    void stop();
+
   private:
     void sample(Tick now);
 
@@ -65,6 +74,7 @@ class HpmSampler
     PerfTrace trace_;
     TraceSpool *spool_ = nullptr;
     bool keepInMemory_ = true;
+    bool stopped_ = false;
     std::uint64_t samplesTaken_ = 0;
     sim::PerfCounters last_;
 };

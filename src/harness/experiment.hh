@@ -25,8 +25,10 @@
 #include "core/daq.hh"
 #include "core/ground_truth.hh"
 #include "core/hpm_sampler.hh"
+#include "harness/tenant_set.hh"
 #include "jvm/jvm.hh"
 #include "workloads/program_builder.hh"
+#include "workloads/service.hh"
 #include "workloads/suite.hh"
 
 namespace javelin {
@@ -78,6 +80,25 @@ struct ExperimentConfig
     /** DVFS operating-point index (-1 = platform maximum). */
     int dvfsPoint = -1;
 
+    /**
+     * Co-tenancy (DESIGN.md §11): number of tenant VMs interleaved on
+     * the platform. 0 (the default) is the classic single-VM batch
+     * run; >= 1 switches to service mode, where each tenant serves
+     * requestsPerTenant invocations of a request-sized build of the
+     * benchmark under the configured arrival process.
+     */
+    std::uint32_t tenants = 0;
+    /** Arrival-process shape for every tenant. */
+    workloads::ArrivalKind arrival = workloads::ArrivalKind::Poisson;
+    /** Mean offered load per tenant (requests per simulated second). */
+    double requestRateHz = 2000.0;
+    /** Requests each tenant serves. */
+    std::uint32_t requestsPerTenant = 32;
+    /** Rotate tenant collectors through the collector enum starting at
+     *  `collector` (tenant i gets collector + i mod #kinds), so one
+     *  run exhibits cross-collector interference. */
+    bool tenantCollectorRotate = false;
+
     std::uint64_t seed = 7;
 
     /**
@@ -114,6 +135,10 @@ struct ExperimentResult
     /** Thermal outcome. */
     double maxTemperatureC = 0.0;
     double throttledSeconds = 0.0;
+
+    /** Per-tenant accounts and interference data (tenants > 0 only;
+     *  `run` then carries the cross-tenant aggregate). */
+    CoTenancyResult cotenancy;
 
     /**
      * The harness itself failed (an exception escaped the run). Set by

@@ -81,6 +81,26 @@ parseDataset(const json::Value &v)
     failAt(v.line, "unknown dataset \"" + s + "\" (Full, Small)");
 }
 
+workloads::ArrivalKind
+parseArrival(const json::Value &v)
+{
+    workloads::ArrivalKind kind;
+    if (!workloads::parseArrivalKind(v.asString(), &kind))
+        failAt(v.line, "unknown arrival \"" + v.asString() +
+                           "\" (Poisson, Bursty, Diurnal)");
+    return kind;
+}
+
+std::uint32_t
+parseTenants(const json::Value &v)
+{
+    const std::uint64_t n = v.asU64();
+    if (n > 64)
+        failAt(v.line, "tenants " + std::to_string(n) +
+                           " out of range [0, 64]");
+    return static_cast<std::uint32_t>(n);
+}
+
 std::uint32_t
 parseHeapMB(const json::Value &v)
 {
@@ -170,6 +190,22 @@ parseBase(const json::Value &obj, ExperimentConfig &cfg)
             cfg.chargeBarrierCost = v.asBool();
         } else if (key == "dvfs_point") {
             cfg.dvfsPoint = parseDvfsPoint(v);
+        } else if (key == "tenants") {
+            cfg.tenants = parseTenants(v);
+        } else if (key == "arrival") {
+            cfg.arrival = parseArrival(v);
+        } else if (key == "request_rate_hz") {
+            cfg.requestRateHz = v.asDouble();
+            if (!(cfg.requestRateHz > 0.0))
+                failAt(v.line, "request_rate_hz must be > 0");
+        } else if (key == "requests_per_tenant") {
+            const std::uint64_t r = v.asU64();
+            if (r > 100000)
+                failAt(v.line, "requests_per_tenant out of range "
+                               "[0, 100000]");
+            cfg.requestsPerTenant = static_cast<std::uint32_t>(r);
+        } else if (key == "tenant_collector_rotate") {
+            cfg.tenantCollectorRotate = v.asBool();
         } else if (key == "seed") {
             cfg.seed = v.asU64();
         } else {
@@ -221,6 +257,12 @@ parseSweep(const json::Value &obj, Scenario &s)
         } else if (key == "dvfs_point") {
             s.dvfsPoints =
                 parseAxis<int>(v, "dvfs_point", parseDvfsPoint);
+        } else if (key == "tenants") {
+            s.tenantCounts =
+                parseAxis<std::uint32_t>(v, "tenants", parseTenants);
+        } else if (key == "arrival") {
+            s.arrivals = parseAxis<workloads::ArrivalKind>(
+                v, "arrival", parseArrival);
         } else if (key == "seed") {
             s.seeds = parseAxis<std::uint64_t>(
                 v, "seed",
@@ -254,6 +296,8 @@ Scenario::shardCount() const
     n *= collectors.empty() ? 1 : collectors.size();
     n *= heapsMB.empty() ? 1 : heapsMB.size();
     n *= dvfsPoints.empty() ? 1 : dvfsPoints.size();
+    n *= tenantCounts.empty() ? 1 : tenantCounts.size();
+    n *= arrivals.empty() ? 1 : arrivals.size();
     n *= seeds.empty() ? 1 : seeds.size();
     return n;
 }
@@ -345,6 +389,15 @@ writeScenario(std::ostream &os, const Scenario &s)
     os << "    \"charge_barrier_cost\": "
        << (b.chargeBarrierCost ? "true" : "false") << ",\n";
     os << "    \"dvfs_point\": " << b.dvfsPoint << ",\n";
+    os << "    \"tenants\": " << b.tenants << ",\n";
+    os << "    \"arrival\": \"" << workloads::arrivalKindName(b.arrival)
+       << "\",\n";
+    os << "    \"request_rate_hz\": ";
+    json::writeNumber(os, b.requestRateHz);
+    os << ",\n    \"requests_per_tenant\": " << b.requestsPerTenant
+       << ",\n";
+    os << "    \"tenant_collector_rotate\": "
+       << (b.tenantCollectorRotate ? "true" : "false") << ",\n";
     os << "    \"seed\": " << b.seed << "\n";
     os << "  },\n";
     os << "  \"sweep\": {\n";
@@ -387,6 +440,19 @@ writeScenario(std::ostream &os, const Scenario &s)
             os << (i ? ", " : "") << s.dvfsPoints[i];
         os << "]";
     }
+    if (!s.tenantCounts.empty()) {
+        os << ",\n    \"tenants\": [";
+        for (std::size_t i = 0; i < s.tenantCounts.size(); ++i)
+            os << (i ? ", " : "") << s.tenantCounts[i];
+        os << "]";
+    }
+    if (!s.arrivals.empty()) {
+        os << ",\n    \"arrival\": [";
+        for (std::size_t i = 0; i < s.arrivals.size(); ++i)
+            os << (i ? ", " : "") << '"'
+               << workloads::arrivalKindName(s.arrivals[i]) << '"';
+        os << "]";
+    }
     if (!s.seeds.empty()) {
         os << ",\n    \"seed\": [";
         for (std::size_t i = 0; i < s.seeds.size(); ++i)
@@ -425,6 +491,8 @@ expandScenario(const Scenario &s)
         effectiveAxis(s.collectors, s.base.collector);
     const auto heaps = effectiveAxis(s.heapsMB, s.base.heapNominalMB);
     const auto dvfs = effectiveAxis(s.dvfsPoints, s.base.dvfsPoint);
+    const auto tenants = effectiveAxis(s.tenantCounts, s.base.tenants);
+    const auto arrivals = effectiveAxis(s.arrivals, s.base.arrival);
     const auto seeds = effectiveAxis(s.seeds, s.base.seed);
 
     std::vector<SweepTask> tasks;
@@ -435,18 +503,22 @@ expandScenario(const Scenario &s)
                 for (const auto collector : collectors)
                     for (const auto heap : heaps)
                         for (const auto point : dvfs)
-                            for (const auto seed : seeds) {
-                                ExperimentConfig cfg = s.base;
-                                cfg.platform = platform;
-                                cfg.vm = vm;
-                                cfg.collector = collector;
-                                cfg.heapNominalMB = heap;
-                                cfg.dvfsPoint = point;
-                                cfg.seed = seed;
-                                tasks.push_back(
-                                    {cfg,
-                                     workloads::benchmark(bench)});
-                            }
+                            for (const auto tc : tenants)
+                                for (const auto arr : arrivals)
+                                    for (const auto seed : seeds) {
+                                        ExperimentConfig cfg = s.base;
+                                        cfg.platform = platform;
+                                        cfg.vm = vm;
+                                        cfg.collector = collector;
+                                        cfg.heapNominalMB = heap;
+                                        cfg.dvfsPoint = point;
+                                        cfg.tenants = tc;
+                                        cfg.arrival = arr;
+                                        cfg.seed = seed;
+                                        tasks.push_back(
+                                            {cfg, workloads::benchmark(
+                                                      bench)});
+                                    }
     return tasks;
 }
 
@@ -460,6 +532,12 @@ shardKey(const SweepTask &task)
         << task.config.heapNominalMB << "MB/"
         << platformName(task.config.platform) << "/dvfs"
         << task.config.dvfsPoint << "/s" << task.config.seed;
+    // Co-tenancy shards carry their service axes; classic shards keep
+    // their historical keys so existing checkpoints stay resumable.
+    if (task.config.tenants > 0)
+        key << "/t" << task.config.tenants << '/'
+            << workloads::arrivalKindName(task.config.arrival) << "/r"
+            << task.config.requestRateHz;
     return key.str();
 }
 
@@ -494,6 +572,20 @@ builtinScenario(const std::string &name)
         s.benchmarks = {"_202_jess", "_209_db"};
         s.collectors = {jvm::CollectorKind::SemiSpace,
                         jvm::CollectorKind::GenMS};
+    } else if (name == "cotenancy-interference") {
+        // The co-tenancy interference matrix (DESIGN.md §11): a GC-
+        // bound and a mutator-bound benchmark, a copying and a
+        // generational mark-sweep collector, 1/2/4 tenants sharing the
+        // P6 power budget under Poisson arrivals.
+        s.base.dataset = workloads::DatasetScale::Small;
+        s.base.heapNominalMB = 32;
+        s.base.tenants = 2;
+        s.base.requestsPerTenant = 24;
+        s.base.requestRateHz = 3000.0;
+        s.benchmarks = {"_202_jess", "_209_db"};
+        s.collectors = {jvm::CollectorKind::SemiSpace,
+                        jvm::CollectorKind::GenMS};
+        s.tenantCounts = {1, 2, 4};
     } else {
         throw ScenarioError("unknown builtin scenario \"" + name +
                             "\"");
@@ -505,7 +597,8 @@ const std::vector<std::string> &
 builtinScenarioNames()
 {
     static const std::vector<std::string> names = {
-        "fig07-edp", "abl-dvfs", "ensemble-regression"};
+        "fig07-edp", "abl-dvfs", "ensemble-regression",
+        "cotenancy-interference"};
     return names;
 }
 

@@ -51,6 +51,9 @@ struct Scenario
     std::vector<jvm::CollectorKind> collectors;
     std::vector<std::uint32_t> heapsMB;
     std::vector<int> dvfsPoints;
+    /** Co-tenancy axes (DESIGN.md §11): tenant count, arrival shape. */
+    std::vector<std::uint32_t> tenantCounts;
+    std::vector<workloads::ArrivalKind> arrivals;
     std::vector<std::uint64_t> seeds;
 
     /** Shards the expansion yields (product of effective axis sizes). */
@@ -75,9 +78,11 @@ std::string scenarioHash(const Scenario &s);
 
 /**
  * Cross product of the axes in fixed nesting order — benchmark,
- * platform, vm, collector, heap, dvfs, seed (innermost) — mirroring
- * the loop order of the original compiled drivers, so ported sweeps
- * keep their task indices and hence their per-task seed streams.
+ * platform, vm, collector, heap, dvfs, tenants, arrival, seed
+ * (innermost) — mirroring the loop order of the original compiled
+ * drivers, so ported sweeps keep their task indices and hence their
+ * per-task seed streams (the co-tenancy axes are singletons in every
+ * pre-existing scenario, so its indices are unchanged).
  */
 std::vector<SweepTask> expandScenario(const Scenario &s);
 

@@ -537,6 +537,8 @@ Interpreter::runTraceFast(sim::CpuModel &cpu,
                             onQuantum();
                         tc = &tierCosts_[static_cast<unsigned>(
                             rt->tier)];
+                        if (yield_)
+                            return;
                     }
                     continue;
                 }
@@ -614,6 +616,8 @@ Interpreter::runTraceFast(sim::CpuModel &cpu,
                 if (onQuantum)
                     onQuantum();
                 tc = &tierCosts_[static_cast<unsigned>(rt->tier)];
+                if (yield_)
+                    return;
             }
             continue;
         }
@@ -632,6 +636,8 @@ Interpreter::runTraceFast(sim::CpuModel &cpu,
             quantumCountdown = config_.quantumBytecodes;
             if (onQuantum)
                 onQuantum();
+            if (yield_)
+                return;
         }
         if (frames_.empty())
             return;
@@ -667,6 +673,7 @@ Interpreter::runTraceFast(sim::CpuModel &cpu,
 #define JAVELIN_MAYBE_TRACE() \
     do { \
         if (config_.fastPath && !frames_.empty() && !halted_ && \
+            !yield_ && \
             isTraceable( \
                 frames_.back().method->code[frames_.back().pc].op)) \
             runTraceFast(cpu, pollCountdown, quantumCountdown); \
@@ -755,16 +762,51 @@ Interpreter::runTraceFast(sim::CpuModel &cpu,
 std::int64_t
 Interpreter::run(MethodId entry)
 {
-    JAVELIN_ASSERT(frames_.empty(), "engine already running");
+    start(entry);
+    while (!runSlice()) {
+    }
+    return result_;
+}
+
+void
+Interpreter::start(MethodId entry)
+{
+    JAVELIN_ASSERT(frames_.empty() && !active_,
+                   "engine already running");
     halted_ = false;
     result_ = 0;
     segPrepaid_ = 0;
     bcFetchLine_ = ~Address{0};
+    pollCountdown_ = config_.pollInterval;
+    quantumCountdown_ = config_.quantumBytecodes;
+    yield_ = false;
+    active_ = true;
     pushFrame(entry, nullptr, -1, 0, 0);
+}
+
+void
+Interpreter::abortRun()
+{
+    frames_.clear();
+    intTop_ = 0;
+    refTop_ = 0;
+    segPrepaid_ = 0;
+    yield_ = false;
+    active_ = false;
+}
+
+bool
+Interpreter::runSlice()
+{
+    JAVELIN_ASSERT(active_, "runSlice without start");
+    yield_ = false;
 
     sim::CpuModel &cpu = system_.cpu();
-    std::uint32_t pollCountdown = config_.pollInterval;
-    std::uint32_t quantumCountdown = config_.quantumBytecodes;
+    // The countdowns stay in locals through the hot loop (the members
+    // only carry them across slices), so single-tenant codegen is
+    // unchanged.
+    std::uint32_t pollCountdown = pollCountdown_;
+    std::uint32_t quantumCountdown = quantumCountdown_;
 
     // Per-bytecode views, refreshed by JAVELIN_FETCH_CHARGE.
     Frame *f = nullptr;
@@ -787,14 +829,15 @@ Interpreter::run(MethodId entry)
 #define JAVELIN_DISPATCH_NEXT() \
     do { \
         JAVELIN_MAYBE_TRACE(); \
-        if (frames_.empty() || halted_) \
+        if (frames_.empty() || halted_ || yield_) \
             goto javelin_run_done; \
         JAVELIN_FETCH_CHARGE(); \
         goto *kLabels[static_cast<unsigned>(in->op)]; \
     } while (0)
 
-    // Entry: frames_ is non-empty and halted_ false after pushFrame
-    // (the trace gate may drain the whole program right here).
+    // Entry: frames_ is non-empty, halted_ and yield_ false after
+    // start() and at every slice resume (the trace gate may drain the
+    // whole program right here).
     JAVELIN_DISPATCH_NEXT();
 
 #define JAVELIN_OP(name) javelin_op_##name: {
@@ -821,7 +864,7 @@ javelin_run_done:;
 
     for (;;) {
         JAVELIN_MAYBE_TRACE();
-        if (frames_.empty() || halted_)
+        if (frames_.empty() || halted_ || yield_)
             break;
         JAVELIN_FETCH_CHARGE();
         switch (in->op) {
@@ -845,10 +888,15 @@ javelin_run_done:;
 
 #endif // JAVELIN_THREADED_DISPATCH
 
+    pollCountdown_ = pollCountdown;
+    quantumCountdown_ = quantumCountdown;
+    if (!frames_.empty() && !halted_)
+        return false; // yielded at a quantum boundary
     frames_.clear();
     intTop_ = 0;
     refTop_ = 0;
-    return result_;
+    active_ = false;
+    return true;
 }
 
 #undef JAVELIN_TAIL_CHECKS

@@ -103,6 +103,37 @@ class Interpreter
      */
     std::int64_t run(MethodId entry);
 
+    /**
+     * Sliced execution (multi-tenant interleaving, DESIGN.md §11):
+     * start() arms a run of entry without executing a bytecode;
+     * runSlice() then executes until the program finishes or a
+     * requestYield() is observed at the next quantum boundary. run()
+     * is exactly start() + runSlice() until finished, so a run that
+     * never yields is bit-identical to the historical single call.
+     */
+    void start(MethodId entry);
+
+    /**
+     * Execute the started program until it finishes or yields.
+     * @return true when finished (result() is valid), false on yield.
+     * @throws OutOfMemoryError, StackOverflowError
+     */
+    bool runSlice();
+
+    /** Stop at the next quantum boundary; runSlice() returns false.
+     *  Only honored from within onQuantum (the scheduling points). */
+    void requestYield() { yield_ = true; }
+
+    /** A start()ed program that has not finished yet. */
+    bool active() const { return active_; }
+
+    /** Entry return value of the last finished run (0 if it halted). */
+    std::int64_t result() const { return result_; }
+
+    /** Discard the current run's stack (failed-tenant teardown after
+     *  an OutOfMemoryError/StackOverflowError escaped runSlice()). */
+    void abortRun();
+
     /** Visit every reference register of every live frame. */
     void forEachStackRoot(const std::function<void(Address &)> &fn);
 
@@ -271,6 +302,13 @@ class Interpreter
     std::uint64_t nativeCursor_ = 0;
     std::int64_t result_ = 0;
     bool halted_ = false;
+    /** Slice state: the countdowns live in locals inside runSlice()'s
+     *  hot loop and are carried across slices through these members;
+     *  yield_ is observed at quantum boundaries only. */
+    std::uint32_t pollCountdown_ = 0;
+    std::uint32_t quantumCountdown_ = 0;
+    bool yield_ = false;
+    bool active_ = false;
 };
 
 } // namespace jvm

@@ -68,9 +68,25 @@ loaderConfigFor(VmKind kind, const Program &program)
 
 Jvm::Jvm(sim::System &system, const Program &program,
          const JvmConfig &config)
+    : Jvm(system, program, config, nullptr)
+{
+}
+
+Jvm::Jvm(sim::System &system, const Program &program,
+         const JvmConfig &config, core::ComponentPort &shared_port)
+    : Jvm(system, program, config, &shared_port)
+{
+}
+
+Jvm::Jvm(sim::System &system, const Program &program,
+         const JvmConfig &config, core::ComponentPort *shared_port)
     : system_(system), program_(program), config_(config),
-      port_(system, core::ComponentPort::Config{
-                        2.0, config.chargePortWrites}),
+      ownedPort_(shared_port
+                     ? nullptr
+                     : std::make_unique<core::ComponentPort>(
+                           system, core::ComponentPort::Config{
+                                       2.0, config.chargePortWrites})),
+      port_(shared_port ? *shared_port : *ownedPort_),
       heap_(config.heapBytes),
       om_(heap_, system.cpu(), program.classes),
       loader_(system, port_, program,
@@ -94,7 +110,11 @@ Jvm::Jvm(sim::System &system, const Program &program,
     engine_ = std::make_unique<Interpreter>(
         system_, port_, program_, om_, *collector_, loader_, compiler_,
         methodRt_, statics_, config_.interp);
-    engine_->onQuantum = [this] { serviceQuantum(); };
+    engine_->onQuantum = [this] {
+        serviceQuantum();
+        if (yieldEachQuantum_)
+            engine_->requestYield();
+    };
 
     if (config_.kind == VmKind::Jikes && config_.adaptiveOptimization) {
         system_.addPeriodicTask("adaptive-sampler", config_.sampleInterval,
@@ -166,7 +186,7 @@ void
 Jvm::adaptiveSample(Tick now)
 {
     (void)now;
-    if (!running_)
+    if (!running_ || !onCpu_)
         return;
     // Timer-driven method sampling plus the controller-thread decision
     // logic (measured at <1% of execution in the paper; we keep it
@@ -202,11 +222,10 @@ Jvm::serviceQuantum()
     chargeSchedulerDispatch();
 }
 
-RunResult
-Jvm::run()
+void
+Jvm::beginService()
 {
-    RunResult res;
-    res.startTick = system_.cpu().now();
+    serviceStartTick_ = system_.cpu().now();
     port_.rawWrite(core::ComponentId::App);
     running_ = true;
 
@@ -217,22 +236,58 @@ Jvm::run()
         for (ClassId id = 0; id < program_.bootClassCount; ++id)
             loader_.ensureLoaded(id);
     }
+}
 
-    try {
-        res.returnValue = engine_->run(program_.entry);
-    } catch (const OutOfMemoryError &) {
-        res.outOfMemory = true;
-    } catch (const StackOverflowError &) {
-        res.stackOverflow = true;
-    }
+void
+Jvm::startRequest()
+{
+    engine_->start(program_.entry);
+}
 
+bool
+Jvm::runRequestSlice()
+{
+    const bool finished = engine_->runSlice();
+    if (finished)
+        lastReturnValue_ = engine_->result();
+    return finished;
+}
+
+RunResult
+Jvm::endService()
+{
     running_ = false;
+    RunResult res;
+    res.startTick = serviceStartTick_;
+    res.returnValue = lastReturnValue_;
     res.endTick = system_.cpu().now();
     res.bytecodesExecuted = engine_->bytecodesExecuted();
     res.gc = collector_->stats();
     res.classesLoaded = loader_.classesLoaded();
     res.methodsCompiled = compiler_.methodsCompiled();
     res.methodsOptimized = compiler_.methodsOptimized();
+    return res;
+}
+
+RunResult
+Jvm::run()
+{
+    beginService();
+
+    bool oom = false, so = false;
+    try {
+        startRequest();
+        while (!runRequestSlice()) {
+        }
+    } catch (const OutOfMemoryError &) {
+        oom = true;
+    } catch (const StackOverflowError &) {
+        so = true;
+    }
+
+    RunResult res = endService();
+    res.outOfMemory = oom;
+    res.stackOverflow = so;
     return res;
 }
 

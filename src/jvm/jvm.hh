@@ -93,10 +93,47 @@ class Jvm : public GcHost
   public:
     Jvm(sim::System &system, const Program &program,
         const JvmConfig &config);
+
+    /**
+     * Co-tenant instance: write component IDs through a shared,
+     * externally-owned port (harness::TenantSet). Everything else —
+     * heap, collector, loader, compilers, engine — is private to this
+     * instance; only the System (and hence caches, DRAM, power and
+     * thermal budget) and the port are shared.
+     */
+    Jvm(sim::System &system, const Program &program,
+        const JvmConfig &config, core::ComponentPort &shared_port);
+
     ~Jvm() override;
 
     /** Execute the program's entry method to completion. */
     RunResult run();
+
+    /**
+     * Sliced service mode (DESIGN.md §11): run() decomposed so a
+     * scheduler can interleave many instances on one System. A tenant
+     * is booted once (beginService), then serves requests: each
+     * request is one run of the program's entry method, executed in
+     * quantum-bounded slices. Long-lived VM state — loaded classes,
+     * compiled methods, heap, collector — persists across requests,
+     * so later requests run warm. endService() closes the rollup.
+     */
+    void beginService();
+    /** Arm the next request (entry method invocation). */
+    void startRequest();
+    /** Run one slice; true when the request completed. */
+    bool runRequestSlice();
+    /** A request is in flight (startRequest'd, not yet completed). */
+    bool requestActive() const { return engine_->active(); }
+    /** Tear down a request whose slice threw (OOM/stack overflow). */
+    void abortRequest() { engine_->abortRun(); }
+    RunResult endService();
+
+    /** Scheduled state: a descheduled tenant's VM-internal timers
+     *  (the Jikes adaptive sampler) do not fire. */
+    void setOnCpu(bool on) { onCpu_ = on; }
+    /** Yield the engine back to the scheduler every quantum. */
+    void setYieldEachQuantum(bool y) { yieldEachQuantum_ = y; }
 
     core::ComponentPort &port() { return port_; }
     Collector &collector() { return *collector_; }
@@ -114,6 +151,9 @@ class Jvm : public GcHost
     void gcEnd(bool major) override;
 
   private:
+    Jvm(sim::System &system, const Program &program,
+        const JvmConfig &config, core::ComponentPort *shared_port);
+
     void adaptiveSample(Tick now);
     void serviceQuantum();
     void chargeSchedulerDispatch();
@@ -121,7 +161,9 @@ class Jvm : public GcHost
     sim::System &system_;
     const Program &program_;
     JvmConfig config_;
-    core::ComponentPort port_;
+    /** Owned in the classic single-VM case; null when sharing. */
+    std::unique_ptr<core::ComponentPort> ownedPort_;
+    core::ComponentPort &port_;
     Heap heap_;
     ObjectModel om_;
     std::unique_ptr<Collector> collector_;
@@ -132,6 +174,10 @@ class Jvm : public GcHost
     std::unique_ptr<Interpreter> engine_;
     std::deque<MethodId> optQueue_;
     bool running_ = false;
+    bool onCpu_ = true;
+    bool yieldEachQuantum_ = false;
+    std::int64_t lastReturnValue_ = 0;
+    Tick serviceStartTick_ = 0;
 };
 
 /** Derive the per-VM interpreter/loader settings for a personality. */

@@ -24,6 +24,21 @@ ThermalModel::steadyStateC(double watts) const
     return config_.ambientC + watts * r;
 }
 
+double
+ThermalModel::crossingSeconds(double start_c, double target,
+                              double tau, double threshold_c,
+                              double dt_seconds)
+{
+    // T(t) = target + (T0 - target) e^{-t/tau} is monotonic toward
+    // target, so if the endpoint is past the threshold the trajectory
+    // crossed it exactly once, at t* = tau ln((T0 - t)/(thr - t)).
+    const double num = start_c - target;
+    const double den = threshold_c - target;
+    if (!(num != 0.0) || !(den != 0.0) || num * den <= 0.0)
+        return 0.0; // already at/past the threshold when the step began
+    return std::clamp(tau * std::log(num / den), 0.0, dt_seconds);
+}
+
 bool
 ThermalModel::step(double watts, double dt_seconds)
 {
@@ -36,16 +51,35 @@ ThermalModel::step(double watts, double dt_seconds)
     const double tau = r * config_.capacitanceJperC;
     const double target = config_.ambientC + watts * r;
     const double decay = std::exp(-dt_seconds / tau);
+    const double startC = tempC_;
     tempC_ = target + (tempC_ - target) * decay;
     maxTempC_ = std::max(maxTempC_, tempC_);
-    if (throttled_)
-        throttledSeconds_ += dt_seconds;
 
     const bool was = throttled_;
     if (!throttled_ && tempC_ >= config_.throttleOnC)
         throttled_ = true;
     else if (throttled_ && tempC_ <= config_.throttleOffC)
         throttled_ = false;
+
+    // Throttled-time accounting. A step on which the throttle flips is
+    // split at the exact trip-point crossing: only the portion spent
+    // past the boundary is charged, instead of charging (or dropping)
+    // the whole step at the entry state. The duty *actuation* still
+    // happens at step granularity (System::thermalStep applies the new
+    // duty after this returns) — that is the control loop's modeled
+    // 200 us latency, not an accounting error.
+    if (was && throttled_) {
+        throttledSeconds_ += dt_seconds;
+    } else if (!was && throttled_) {
+        throttledSeconds_ +=
+            dt_seconds - crossingSeconds(startC, target, tau,
+                                         config_.throttleOnC,
+                                         dt_seconds);
+    } else if (was && !throttled_) {
+        throttledSeconds_ += crossingSeconds(startC, target, tau,
+                                             config_.throttleOffC,
+                                             dt_seconds);
+    }
     return throttled_ != was;
 }
 

@@ -65,11 +65,24 @@ class ThermalModel
     double steadyStateC(double watts) const;
 
     double maxTemperatureC() const { return maxTempC_; }
+
+    /**
+     * Seconds spent with the throttle engaged. Steps on which the
+     * throttle flips are split at the exact trip-point crossing (the
+     * trajectory is a monotone exponential, so the crossing has a
+     * closed form); only time past the boundary is counted.
+     */
     double throttledSeconds() const { return throttledSeconds_; }
 
     const Config &config() const { return config_; }
 
   private:
+    /** Time within [0, dt] at which the trajectory from start_c toward
+     *  target crosses threshold_c (0 if it starts at/past it). */
+    static double crossingSeconds(double start_c, double target,
+                                  double tau, double threshold_c,
+                                  double dt_seconds);
+
     Config config_;
     double tempC_;
     double maxTempC_;

@@ -1,0 +1,112 @@
+#include "workloads/service.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace javelin {
+namespace workloads {
+
+const char *
+arrivalKindName(ArrivalKind kind)
+{
+    switch (kind) {
+      case ArrivalKind::Poisson:
+        return "Poisson";
+      case ArrivalKind::Bursty:
+        return "Bursty";
+      case ArrivalKind::Diurnal:
+        return "Diurnal";
+    }
+    JAVELIN_PANIC("bad arrival kind");
+}
+
+bool
+parseArrivalKind(const std::string &name, ArrivalKind *out)
+{
+    if (name == "Poisson")
+        *out = ArrivalKind::Poisson;
+    else if (name == "Bursty")
+        *out = ArrivalKind::Bursty;
+    else if (name == "Diurnal")
+        *out = ArrivalKind::Diurnal;
+    else
+        return false;
+    return true;
+}
+
+ArrivalProcess::ArrivalProcess(const ArrivalConfig &config,
+                               std::uint64_t seed)
+    : config_(config), rng_(seed)
+{
+    JAVELIN_ASSERT(config_.ratePerSec > 0.0,
+                   "arrival rate must be positive");
+    switch (config_.kind) {
+      case ArrivalKind::Poisson:
+        peakRate_ = config_.ratePerSec;
+        break;
+      case ArrivalKind::Bursty:
+        peakRate_ = config_.ratePerSec *
+                    std::max(1.0, config_.burstFactor);
+        break;
+      case ArrivalKind::Diurnal:
+        peakRate_ = config_.ratePerSec *
+                    (1.0 + std::min(config_.diurnalAmplitude, 0.999));
+        break;
+    }
+}
+
+double
+ArrivalProcess::rateAt(double t_sec) const
+{
+    const double rate = config_.ratePerSec;
+    switch (config_.kind) {
+      case ArrivalKind::Poisson:
+        return rate;
+      case ArrivalKind::Bursty: {
+        // Square wave, mean rate preserved: the on-phase runs at
+        // burstFactor * rate for burstFraction of the cycle, the
+        // off-phase absorbs the remainder (floored at a trickle so the
+        // thinning loop always terminates).
+        const double f = std::clamp(config_.burstFraction, 0.01, 0.99);
+        const double bf = std::max(1.0, config_.burstFactor);
+        const double phase =
+            std::fmod(t_sec, config_.cyclePeriodSec) /
+            config_.cyclePeriodSec;
+        if (phase < f)
+            return rate * bf;
+        return std::max(rate * (1.0 - f * bf) / (1.0 - f),
+                        rate * 1e-3);
+      }
+      case ArrivalKind::Diurnal: {
+        const double a = std::min(config_.diurnalAmplitude, 0.999);
+        const double w = 2.0 * 3.14159265358979323846 /
+                         config_.cyclePeriodSec;
+        return rate * (1.0 + a * std::sin(w * t_sec));
+      }
+    }
+    JAVELIN_PANIC("bad arrival kind");
+}
+
+Tick
+ArrivalProcess::next()
+{
+    // Lewis-Shedler thinning: candidate gaps at the peak rate, each
+    // accepted with probability rate(t)/peak. Both draws happen on
+    // every candidate so the stream's consumption pattern is fixed.
+    for (;;) {
+        tSec_ += rng_.exponential(1.0 / peakRate_);
+        const double accept = rateAt(tSec_) / peakRate_;
+        if (rng_.uniform() < accept) {
+            // Floor at one tick of progress so the timeline is
+            // strictly increasing even at absurd rates.
+            const Tick t = secondsToTicks(tSec_);
+            lastTick_ = std::max(t, lastTick_ + 1);
+            return lastTick_;
+        }
+    }
+}
+
+} // namespace workloads
+} // namespace javelin

@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "sim/platform.hh"
 #include "sim/system.hh"
 
@@ -253,6 +255,86 @@ TEST(Thermal, ThrottleHysteresis)
     EXPECT_LT(tm.temperatureC(),
               sim::p6Spec().thermal.throttleOnC);
     EXPECT_DOUBLE_EQ(tm.requestedDuty(), 1.0);
+}
+
+/**
+ * A step on which the throttle engages must charge throttledSeconds
+ * only for the portion past the trip point, not the whole step: the
+ * trajectory is a monotone exponential, so the crossing instant has a
+ * closed form t* = tau ln((T0 - target)/(thr - target)) and the split
+ * can be checked exactly.
+ */
+TEST(Thermal, EngageStepSplitsAtTripPointCrossing)
+{
+    const auto cfg = sim::p6Spec().thermal;
+    ThermalModel tm(cfg);
+    tm.setFanEnabled(false);
+
+    // Heat to just below the on-threshold with short steps, then take
+    // one long step that crosses it mid-way.
+    const double watts = 14.0;
+    while (tm.temperatureC() < cfg.throttleOnC - 1.0)
+        tm.step(watts, 0.5);
+    ASSERT_FALSE(tm.throttled());
+    ASSERT_EQ(tm.throttledSeconds(), 0.0);
+
+    const double t0 = tm.temperatureC();
+    const double tau = cfg.rFanOffCperW * cfg.capacitanceJperC;
+    const double target = cfg.ambientC + watts * cfg.rFanOffCperW;
+    const double dt = 30.0;
+    ASSERT_TRUE(tm.step(watts, dt)); // engages on this step
+    ASSERT_TRUE(tm.throttled());
+
+    const double tCross =
+        tau * std::log((t0 - target) / (cfg.throttleOnC - target));
+    ASSERT_GT(tCross, 0.0);
+    ASSERT_LT(tCross, dt);
+    EXPECT_NEAR(tm.throttledSeconds(), dt - tCross, 1e-12);
+}
+
+/** The disengage flip is split symmetrically at the off-threshold. */
+TEST(Thermal, DisengageStepSplitsAtTripPointCrossing)
+{
+    const auto cfg = sim::p6Spec().thermal;
+    ThermalModel tm(cfg);
+    tm.setFanEnabled(false);
+    while (!tm.throttled())
+        tm.step(14.0, 1.0);
+    const double engaged = tm.throttledSeconds();
+
+    // One long cooling step that crosses the off-threshold mid-way:
+    // only the time still above it is throttled.
+    const double t0 = tm.temperatureC();
+    ASSERT_GT(t0, cfg.throttleOffC);
+    const double tau = cfg.rFanOffCperW * cfg.capacitanceJperC;
+    const double target = cfg.ambientC; // zero watts
+    const double dt = 200.0;
+    ASSERT_TRUE(tm.step(0.0, dt)); // disengages on this step
+    ASSERT_FALSE(tm.throttled());
+
+    const double tCross =
+        tau * std::log((t0 - target) / (cfg.throttleOffC - target));
+    ASSERT_GT(tCross, 0.0);
+    ASSERT_LT(tCross, dt);
+    EXPECT_NEAR(tm.throttledSeconds(), engaged + tCross, 1e-12);
+}
+
+/** Steps fully inside one state charge whole-step (engaged) or none
+ *  (released), unchanged by the boundary-splitting fix. */
+TEST(Thermal, NonFlippingStepsChargeWholeOrNothing)
+{
+    const auto cfg = sim::p6Spec().thermal;
+    ThermalModel tm(cfg);
+    tm.setFanEnabled(false);
+    while (!tm.throttled())
+        tm.step(14.0, 1.0);
+    const double engaged = tm.throttledSeconds();
+
+    // Still above the off-threshold after a short hot step: the whole
+    // step is throttled time.
+    ASSERT_FALSE(tm.step(14.0, 0.25));
+    ASSERT_TRUE(tm.throttled());
+    EXPECT_NEAR(tm.throttledSeconds(), engaged + 0.25, 1e-12);
 }
 
 TEST(Thermal, StableForLargeSteps)

@@ -174,6 +174,74 @@ TEST(DaqFixes, LongTraceIntegrationDoesNotDrift)
     EXPECT_GT(naiveErr, 100.0 * std::max(compErr, 1e-13));
 }
 
+/**
+ * Regression for the final-partial-window truncation: a run that ends
+ * between sampling instants used to lose the in-progress window —
+ * energy consumed after the last periodic sample never entered the
+ * measured totals, so on ms-scale runs measured joules undercounted
+ * the integrated energy by up to one window. Daq::stop() flushes the
+ * partial window through the ordinary sample path; after it, measured
+ * totals must reconcile with the power model at Neumaier epsilon, not
+ * at percent scale.
+ */
+TEST(DaqFixes, StopFlushesFinalPartialWindow)
+{
+    System sys(testSpec());
+    ComponentPort port(sys);
+    Daq daq(sys, port);
+    const Tick p = daq.period();
+
+    // 20 on-schedule windows, then stop ~60% into the next one.
+    while (sys.cpu().now() < 20 * p) {
+        sys.cpu().execute(50, 0x1000, 64);
+        sys.poll();
+    }
+    burnWithoutPolling(sys, sys.cpu().now() + (3 * p) / 5);
+    sys.syncPower();
+    const double model = sys.cpuJoules();
+    const double modelMem = sys.memoryJoules();
+
+    // Without the flush the in-progress window is simply dropped: the
+    // truncated totals are visibly short of the integrated energy.
+    const double truncated = daq.measuredCpuJoules();
+    EXPECT_LT(truncated, model * 0.995);
+
+    const auto samplesBefore = daq.samplesTaken();
+    daq.stop();
+    EXPECT_EQ(daq.samplesTaken(), samplesBefore + 1);
+    EXPECT_NEAR(daq.measuredCpuJoules(), model, model * 1e-9);
+    EXPECT_NEAR(daq.measuredMemJoules(), modelMem, modelMem * 1e-9);
+
+    // Idempotent, and periodic firings after stop() are ignored: more
+    // simulated time must not grow the trace or the totals.
+    daq.stop();
+    const double stopped = daq.measuredCpuJoules();
+    sys.idleFor(5 * p);
+    EXPECT_EQ(daq.samplesTaken(), samplesBefore + 1);
+    EXPECT_EQ(daq.measuredCpuJoules(), stopped);
+}
+
+/** A stop landing exactly on a sample boundary has nothing to flush. */
+TEST(DaqFixes, StopOnBoundaryFlushesNothing)
+{
+    System sys(testSpec());
+    ComponentPort port(sys);
+    Daq daq(sys, port);
+    const Tick p = daq.period();
+
+    while (sys.cpu().now() < 4 * p) {
+        sys.cpu().execute(50, 0x1000, 64);
+        sys.poll();
+    }
+    // Land exactly on the next boundary and let the periodic sample
+    // fire there.
+    sys.idleFor(5 * p - sys.cpu().now());
+    const auto samplesBefore = daq.samplesTaken();
+    daq.stop();
+    EXPECT_EQ(daq.samplesTaken(), samplesBefore);
+    EXPECT_TRUE(daq.stopped());
+}
+
 TEST(DaqFixes, WarmAttachMeasuresOnlyPostAttachEnergy)
 {
     System sys(testSpec());

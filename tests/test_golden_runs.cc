@@ -213,6 +213,15 @@ constexpr Golden kGoldenInterp = {
     0.30992634908100003, 0.004175641929500002,
 };
 
+constexpr Golden kGoldenMultiTenant = {
+    "MultiTenant",
+    70641431u, 118576859u, 20648u, 1226495u, 11380u, 83454u, 5789u,
+    0.87188890667192498, 0.014182179153999818,
+};
+
+/** Pinned schedule shape of the multi-tenant golden (see below). */
+constexpr std::uint64_t kGoldenMultiTenantSwitches = 7274;
+
 /**
  * The synthetic call-density stress (deep helper chains, recursion,
  * cold calls through the dispatch tree; frames turn over every ~5-10
@@ -306,6 +315,30 @@ runInterp()
     return res;
 }
 
+/**
+ * Two Jikes/GenMS tenants serving Poisson request traffic on one P6
+ * (DESIGN.md §11): pins the co-tenancy scheduler — quantum
+ * interleaving, scheduler-dispatch charges, shared-cache/DRAM
+ * contention between tenants — on top of everything the single-VM
+ * goldens already pin. Any drift in the slice boundaries reshuffles
+ * the interleaving and lands here as a counter diff.
+ */
+harness::ExperimentResult
+runMultiTenant()
+{
+    harness::ExperimentConfig cfg;
+    cfg.platform = sim::PlatformKind::P6;
+    cfg.vm = jvm::VmKind::Jikes;
+    cfg.collector = jvm::CollectorKind::GenMS;
+    cfg.heapNominalMB = 32;
+    cfg.dataset = workloads::DatasetScale::Small;
+    cfg.tenants = 2;
+    cfg.requestsPerTenant = 12;
+    cfg.requestRateHz = 3000.0;
+    return harness::runExperiment(cfg,
+                                  workloads::benchmark("_202_jess"));
+}
+
 } // namespace
 
 TEST(GoldenRuns, JikesSemiSpaceP6)
@@ -372,6 +405,24 @@ TEST(GoldenRuns, InterpreterTierP6)
         GTEST_SKIP() << "print mode: golden not checked";
     }
     expectGolden(kGoldenInterp, res);
+}
+
+TEST(GoldenRuns, MultiTenantGenMsP6)
+{
+    const auto res = runMultiTenant();
+    ASSERT_TRUE(res.ok());
+    storeCapture("MultiTenant", res);
+    if (printRequested()) {
+        printInitializer("MultiTenant", res);
+        std::printf("constexpr std::uint64_t kGoldenMultiTenantSwitches "
+                    "= %llu;\n",
+                    static_cast<unsigned long long>(
+                        res.cotenancy.contextSwitches));
+        GTEST_SKIP() << "print mode: golden not checked";
+    }
+    EXPECT_EQ(res.cotenancy.contextSwitches,
+              kGoldenMultiTenantSwitches);
+    expectGolden(kGoldenMultiTenant, res);
 }
 
 /** A golden run must be a pure function of its configuration. */

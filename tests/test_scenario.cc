@@ -80,6 +80,11 @@ TEST(Scenario, EveryConfigFieldRoundTrips)
     s.base.adaptiveOptimization = false;
     s.base.chargeBarrierCost = false;
     s.base.dvfsPoint = 2;
+    s.base.tenants = 3;
+    s.base.arrival = workloads::ArrivalKind::Bursty;
+    s.base.requestRateHz = 1250.0;
+    s.base.requestsPerTenant = 17;
+    s.base.tenantCollectorRotate = true;
     s.base.seed = 0xdeadbeefcafef00dULL; // needs > 53 bits to survive
 
     const std::string text = serialize(s);
@@ -105,6 +110,12 @@ TEST(Scenario, EveryConfigFieldRoundTrips)
               s.base.adaptiveOptimization);
     EXPECT_EQ(parsed.base.chargeBarrierCost, s.base.chargeBarrierCost);
     EXPECT_EQ(parsed.base.dvfsPoint, s.base.dvfsPoint);
+    EXPECT_EQ(parsed.base.tenants, s.base.tenants);
+    EXPECT_EQ(parsed.base.arrival, s.base.arrival);
+    EXPECT_DOUBLE_EQ(parsed.base.requestRateHz, s.base.requestRateHz);
+    EXPECT_EQ(parsed.base.requestsPerTenant, s.base.requestsPerTenant);
+    EXPECT_EQ(parsed.base.tenantCollectorRotate,
+              s.base.tenantCollectorRotate);
     EXPECT_EQ(parsed.base.seed, s.base.seed);
 
     // Serialization is a fixed point: write(parse(write(s))) ==
@@ -125,6 +136,9 @@ TEST(Scenario, AxesRoundTrip)
                     jvm::CollectorKind::GenMS};
     s.heapsMB = {32, 48, 64};
     s.dvfsPoints = {-1, 0, 3};
+    s.tenantCounts = {1, 2};
+    s.arrivals = {workloads::ArrivalKind::Poisson,
+                  workloads::ArrivalKind::Diurnal};
     s.seeds = {1, 2, 0xffffffffffffffffULL};
 
     const Scenario parsed = parseScenario(serialize(s));
@@ -134,8 +148,10 @@ TEST(Scenario, AxesRoundTrip)
     EXPECT_EQ(parsed.collectors, s.collectors);
     EXPECT_EQ(parsed.heapsMB, s.heapsMB);
     EXPECT_EQ(parsed.dvfsPoints, s.dvfsPoints);
+    EXPECT_EQ(parsed.tenantCounts, s.tenantCounts);
+    EXPECT_EQ(parsed.arrivals, s.arrivals);
     EXPECT_EQ(parsed.seeds, s.seeds);
-    EXPECT_EQ(parsed.shardCount(), 2u * 2 * 2 * 2 * 3 * 3 * 3);
+    EXPECT_EQ(parsed.shardCount(), 2u * 2 * 2 * 2 * 3 * 3 * 2 * 2 * 3);
     EXPECT_EQ(expandScenario(parsed).size(), parsed.shardCount());
 }
 
@@ -265,6 +281,8 @@ TEST(Scenario, CommittedDriverFixturesMatchBuiltins)
         {"fig07-edp", "fig07_edp.scenario.json"},
         {"abl-dvfs", "abl_dvfs.scenario.json"},
         {"ensemble-regression", "ensemble_regression.scenario.json"},
+        {"cotenancy-interference",
+         "cotenancy_interference.scenario.json"},
     };
     for (const auto &[name, file] : fixtures) {
         const std::string path =
@@ -282,6 +300,9 @@ TEST(Scenario, CommittedDriverFixturesMatchBuiltins)
     EXPECT_EQ(builtinScenario("abl-dvfs").shardCount(),
               2 * sim::p6Spec().dvfsPoints.size());
     EXPECT_EQ(builtinScenario("ensemble-regression").shardCount(), 4u);
+    // 2 benchmarks x 2 collectors x 3 tenant counts.
+    EXPECT_EQ(builtinScenario("cotenancy-interference").shardCount(),
+              12u);
     EXPECT_THROW(builtinScenario("no-such"), ScenarioError);
 }
 
